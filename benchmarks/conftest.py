@@ -1,0 +1,42 @@
+"""Benchmark fixtures: one full-scale study shared by every bench.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation, prints a paper-vs-measured comparison, and asserts the
+paper's qualitative shape (who wins, rough factors, crossovers).  The
+timed section is the analysis computation; the study itself runs once per
+session.
+"""
+
+import pytest
+
+from repro.core.study import run_study
+from repro.world import generate_world
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The full-scale measurement study (1447 samples, 14-day probing)."""
+    world = generate_world()
+    malnet, campaign, datasets = run_study(world)
+    return world, malnet, campaign, datasets
+
+
+@pytest.fixture(scope="session")
+def world(study):
+    return study[0]
+
+
+@pytest.fixture(scope="session")
+def campaign(study):
+    return study[2]
+
+
+@pytest.fixture(scope="session")
+def datasets(study):
+    return study[3]
+
+
+def emit(text: str) -> None:
+    """Print a rendered table/figure under the bench output."""
+    print()
+    print(text)

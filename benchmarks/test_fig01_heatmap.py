@@ -1,0 +1,34 @@
+"""Figure 1: weekly heatmap of C2 activity across the top-10 ASes."""
+
+from conftest import emit
+
+from repro.core import c2_analysis
+from repro.core.report import render_heatmap
+from repro.world.calibration import ACTIVE_WEEKS
+
+
+def test_fig1_weekly_as_heatmap(benchmark, world, datasets):
+    matrix = benchmark(
+        c2_analysis.weekly_as_heatmap, datasets, world.asdb, ACTIVE_WEEKS
+    )
+    emit(render_heatmap(matrix, "Figure 1 — weekly C2s per top AS "
+                                "(columns = study weeks 1..31)"))
+    assert len(matrix) == 10
+    totals = {asn: sum(row) for asn, row in matrix.items()}
+    ranked = sorted(totals.values(), reverse=True)
+    # the top four ASes are consistently more active than the bottom four
+    assert sum(ranked[:4]) > 2 * sum(ranked[-4:])
+    # more C2s appear since January 2022 (weeks 21+) than weeks 1-11
+    early = sum(sum(row[0:11]) for row in matrix.values())
+    late = sum(sum(row[20:31]) for row in matrix.values())
+    assert late > early
+    # week 28 is the peak week overall
+    weekly = [sum(row[w] for row in matrix.values()) for w in range(ACTIVE_WEEKS)]
+    assert max(weekly) == max(weekly[25:30])
+    # the AS-44812 late-study surge: its per-week activity in the last
+    # four weeks beats its earlier per-week average
+    if 44812 in matrix:
+        row = matrix[44812]
+        late_rate = sum(row[27:]) / 4
+        early_rate = sum(row[:27]) / 27
+        assert late_rate > early_rate

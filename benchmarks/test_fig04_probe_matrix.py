@@ -1,0 +1,24 @@
+"""Figure 4: C2 elusiveness — the probe-response matrix of D-PC2."""
+
+from conftest import emit
+
+from repro.core.report import render_probe_matrix
+
+
+def test_fig4_probe_response_matrix(benchmark, campaign):
+    matrix = benchmark(campaign.response_matrix)
+    emit(render_probe_matrix(
+        matrix, "Figure 4 — responses of the 7 probed C2s "
+                "(6 probes/day for two weeks)"))
+    assert len(matrix) == 7
+    # servers are elusive: nobody answers all six probes of any day
+    assert not campaign.any_full_day_response()
+    # headline: ~91% of successful probes are NOT followed by a success
+    # four hours later
+    rate = campaign.repeat_response_rate()
+    emit(f"repeat-response rate: paper ~9% / measured {rate:.0%}")
+    assert rate < 0.25
+    # every server is reachable at least sometimes (they were discovered)
+    for series in matrix.values():
+        assert any(series)
+        assert not all(series)

@@ -1,0 +1,24 @@
+"""Figure 5: CDF of distinct binaries per C2 IP address."""
+
+from conftest import emit
+
+from repro.core import c2_analysis
+from repro.core.report import render_cdf
+
+
+def test_fig5_samples_per_c2_ip(benchmark, datasets):
+    points = benchmark(c2_analysis.samples_per_c2_cdf, datasets, False)
+    emit(render_cdf(points, "Figure 5 — CDF of #binaries per C2 IP",
+                    "#binaries"))
+    counts = [r.distinct_samples for r in datasets.d_c2s.values()
+              if not r.is_dns]
+    single = sum(1 for c in counts if c == 1) / len(counts)
+    heavy = sum(1 for c in counts if c > 10) / len(counts)
+    emit(f"single-binary C2s: paper ~40% / measured {single:.0%}; "
+         f">10 binaries: paper ~20% / measured {heavy:.0%}")
+    # shape: ~40% of C2 IPs serve one binary, a fat >10 tail exists
+    assert 0.25 < single < 0.55
+    assert 0.08 < heavy < 0.35
+    # consequence: 60% of C2s are contacted by more than one binary, so
+    # blocking a C2 found via one binary contains others (section 3.3)
+    assert (1 - single) > 0.4

@@ -1,0 +1,20 @@
+"""Figure 6: CDF of distinct binaries per C2 domain."""
+
+from conftest import emit
+
+from repro.core import c2_analysis
+from repro.core.report import render_cdf
+
+
+def test_fig6_samples_per_c2_domain(benchmark, datasets):
+    points = benchmark(c2_analysis.samples_per_c2_cdf, datasets, True)
+    emit(render_cdf(points, "Figure 6 — CDF of #binaries per C2 domain",
+                    "#binaries"))
+    counts = [r.distinct_samples for r in datasets.d_c2s.values()
+              if r.is_dns]
+    assert counts, "expected DNS-named C2s at full scale"
+    # result qualitatively similar to the IP case (section 3.3): a large
+    # single-binary share plus reused domains
+    single = sum(1 for c in counts if c == 1) / len(counts)
+    assert 0.15 < single < 0.8
+    assert max(counts) >= 2

@@ -1,0 +1,20 @@
+"""Figure 9: frequency of loader filenames in D-Exploits."""
+
+from conftest import emit
+
+from repro.botnet.exploits import LOADER_WEIGHTS
+from repro.core import exploit_analysis
+from repro.core.report import render_histogram
+
+
+def test_fig9_loader_filename_frequency(benchmark, datasets):
+    freqs = benchmark(exploit_analysis.loader_frequencies, datasets)
+    emit(render_histogram(freqs, "Figure 9 — binaries per loader filename"))
+    # the loader names are exactly the paper's seven (authors reuse the
+    # same loader across exploits, section 4)
+    assert set(freqs) <= set(LOADER_WEIGHTS)
+    assert len(freqs) >= 5
+    # the ranking follows the paper's: t8UsA2.sh on top, jaws.sh rare
+    ranked = sorted(freqs, key=freqs.get, reverse=True)
+    assert ranked[0] in ("t8UsA2.sh", "Tsunamix6", "ddns.sh")
+    assert freqs.get("jaws.sh", 0) <= freqs[ranked[0]] / 3

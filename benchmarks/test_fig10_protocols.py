@@ -1,0 +1,30 @@
+"""Figure 10: DDoS attack distribution by target protocol."""
+
+from conftest import emit
+
+from repro.core import ddos_analysis
+from repro.core.report import render_histogram
+
+PAPER = {"UDP": 0.74, "TCP": 0.14, "DNS": 0.07, "ICMP": 0.05}
+
+
+def test_fig10_attack_target_protocols(benchmark, datasets):
+    shares = benchmark(ddos_analysis.protocol_distribution, datasets)
+    emit(render_histogram(
+        {k: round(v * 100) for k, v in shares.items()},
+        "Figure 10 — attacks by target protocol (%)",
+    ))
+    # UDP-based attacks dominate by a wide margin
+    assert shares.get("UDP", 0) > 0.5
+    assert shares["UDP"] > 2.5 * shares.get("TCP", 0)
+    # ICMP (BLACKNURSE) and DNS exist but are small
+    for minority in ("ICMP", "DNS"):
+        if minority in shares:
+            assert shares[minority] < 0.2
+    # the default web ports attract a disproportionate share (21% / 7%)
+    p80 = ddos_analysis.port_share(datasets, 80)
+    p443 = ddos_analysis.port_share(datasets, 443)
+    emit(f"port 80 share: paper 21% / measured {p80:.0%}; "
+         f"port 443: paper 7% / measured {p443:.0%}")
+    assert p80 > p443
+    assert 0.05 < p80 < 0.45

@@ -1,0 +1,30 @@
+"""Figure 11: DDoS attack type distribution by malware family."""
+
+from conftest import emit
+
+from repro.core import ddos_analysis
+from repro.core.report import render_histogram
+
+
+def test_fig11_attack_types_by_family(benchmark, datasets):
+    counts = benchmark(ddos_analysis.type_by_family, datasets)
+    emit(render_histogram(
+        {f"{family}/{kind}": n for (family, kind), n in counts.items()},
+        "Figure 11 — attack type by family",
+    ))
+    per_family = ddos_analysis.attacks_per_family(datasets)
+    emit(f"attacks per family: {per_family}")
+    # Mirai launches the most attacks; Daddyl33t is second; Gafgyt fewest
+    assert per_family["mirai"] >= per_family["daddyl33t"] >= per_family["gafgyt"]
+    # Daddyl33t is the most diverse in attack types
+    types_of = lambda fam: {kind for (f, kind) in counts if f == fam}
+    assert len(types_of("daddyl33t")) >= len(types_of("gafgyt"))
+    assert len(types_of("daddyl33t")) >= 4
+    # the 8 types of section 5.1 are (nearly) all observed
+    all_types = {kind for (_f, kind) in counts}
+    assert len(all_types) >= 7
+    # family-specific signatures: BLACKNURSE/NFO are daddyl33t-only;
+    # STD and the one VSE instance are Gafgyt's (section 5.1)
+    assert ("daddyl33t", "BLACKNURSE") in counts or ("daddyl33t", "NFO") in counts
+    assert all(f == "daddyl33t" for (f, k) in counts if k in ("BLACKNURSE", "NFO"))
+    assert all(f == "gafgyt" for (f, k) in counts if k in ("STD", "VSE"))

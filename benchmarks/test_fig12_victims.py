@@ -1,0 +1,31 @@
+"""Figure 12: DDoS victims by country and AS type."""
+
+from conftest import emit
+
+from repro.core import ddos_analysis
+from repro.core.report import render_histogram
+
+
+def test_fig12_victim_profile(benchmark, world, datasets):
+    shares = benchmark(ddos_analysis.victim_kind_shares, datasets, world.asdb)
+    emit(render_histogram(
+        {k: round(v * 100) for k, v in shares.items()},
+        "Figure 12 — victims by AS type (%)",
+    ))
+    profiles = ddos_analysis.victim_profiles(datasets, world.asdb)
+    countries = {p.country for p in profiles}
+    emit(f"victims: {len(profiles)} targets in {countries}")
+    # ISPs and hosting providers absorb most attacks (45% + 36%)
+    assert shares.get("isp", 0) + shares.get("hosting", 0) > 0.55
+    assert shares.get("isp", 0) > 0.2
+    # businesses (Google/Amazon/Roblox class) are a real minority
+    assert 0 < shares.get("business", 0) < 0.45
+    # targets span many countries
+    assert len(countries) >= 5
+    # the gaming orientation: a noticeable share of victim ASes
+    gaming = ddos_analysis.gaming_share(datasets, world.asdb)
+    emit(f"gaming-specialized victim share: paper 18% / measured {gaming:.0%}")
+    # 25% of targets hit by two attack types in a session
+    double = ddos_analysis.double_attack_share(datasets, world.asdb)
+    emit(f"double-attacked targets: paper 25% / measured {double:.0%}")
+    assert double > 0.08

@@ -1,0 +1,22 @@
+"""Figure 13: CDF of C2 volume over the autonomous-system ranking."""
+
+from conftest import emit
+
+from repro.core import c2_analysis
+from repro.core.report import render_cdf
+
+
+def test_fig13_as_cdf(benchmark, world, datasets):
+    points = benchmark(c2_analysis.as_count_cdf, datasets, world.asdb)
+    emit(render_cdf(points, "Figure 13 — cumulative C2 share by AS rank",
+                    "AS rank"))
+    total_ases = len(points)
+    emit(f"distinct ASes hosting C2s: paper 128 / measured {total_ases}")
+    # many ASes appear overall...
+    assert total_ases >= 40
+    # ...but the distribution is extremely top-heavy: the first ten ranks
+    # carry most of the mass (69.7% in the paper)
+    at_ten = max(p.fraction for p in points if p.value <= 10)
+    assert 0.5 < at_ten < 0.9
+    # and the curve is a proper CDF ending at 1
+    assert points[-1].fraction == 1.0

@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the hot substrate paths.
+
+Not paper experiments — these track the costs that bound how far the
+study scales: packet codec, pcap I/O, flow aggregation, protocol
+profiling, and world generation itself.
+"""
+
+import io
+import random
+
+from repro.botnet.protocols import mirai
+from repro.botnet.protocols.base import AttackCommand
+from repro.netsim.addresses import ip_to_int
+from repro.netsim.capture import Capture, PcapReader, PcapWriter
+from repro.netsim.flows import FlowTable
+from repro.netsim.packet import TcpFlags, decode_packet, encode_packet, tcp_packet
+
+A = ip_to_int("198.51.100.1")
+B = ip_to_int("203.0.113.1")
+
+
+def _packets(count=1000):
+    rng = random.Random(0)
+    return [
+        tcp_packet(A, B, rng.randrange(1024, 65535), 80,
+                   TcpFlags.PSH | TcpFlags.ACK,
+                   bytes(rng.randrange(256) for _ in range(64)),
+                   seq=rng.randrange(2**32), timestamp=i * 0.001)
+        for i, count_ in enumerate(range(count))
+    ]
+
+
+def test_packet_encode_throughput(benchmark):
+    packets = _packets(200)
+    total = benchmark(lambda: sum(len(encode_packet(p)) for p in packets))
+    assert total > 200 * 40
+
+
+def test_packet_roundtrip_throughput(benchmark):
+    packets = _packets(100)
+    encoded = [encode_packet(p) for p in packets]
+
+    def roundtrip():
+        return [decode_packet(e) for e in encoded]
+
+    decoded = benchmark(roundtrip)
+    assert decoded == packets
+
+
+def test_pcap_write_read_throughput(benchmark):
+    packets = _packets(500)
+
+    def cycle():
+        buf = io.BytesIO()
+        PcapWriter(buf).write_all(packets)
+        buf.seek(0)
+        return sum(1 for _ in PcapReader(buf))
+
+    assert benchmark(cycle) == 500
+
+
+def test_flow_aggregation_throughput(benchmark):
+    capture = Capture(_packets(1000))
+    table = benchmark(FlowTable.from_capture, capture)
+    assert len(table) >= 1
+
+
+def test_mirai_profiler_throughput(benchmark):
+    command = AttackCommand("udp", B, 80, 60)
+    stream = (mirai.KEEPALIVE * 10 + mirai.encode_attack(command)) * 50
+
+    commands = benchmark(mirai.extract_commands, stream)
+    assert len(commands) == 50
+
+
+def test_world_generation_cost(benchmark):
+    from repro.world import StudyScale, generate_world
+
+    scale = StudyScale(sample_fraction=0.05, probe_days=2)
+    world = benchmark(generate_world, 123, scale)
+    assert len(world.truth.all_samples) == scale.total_samples

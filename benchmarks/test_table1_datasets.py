@@ -1,0 +1,33 @@
+"""Table 1: the five dataset sizes."""
+
+from conftest import emit
+
+from repro.core.report import render_comparison
+
+PAPER = {
+    "D-Samples": 1447,
+    "D-C2s": 1160,
+    "D-PC2": 448,
+    "D-Exploits": 197,
+    "D-DDOS": 42,
+}
+
+
+def test_table1_dataset_sizes(benchmark, datasets):
+    summary = benchmark(datasets.summary)
+    emit(render_comparison(
+        [(name, str(PAPER[name]), str(summary[name])) for name in PAPER],
+        "Table 1 — dataset sizes (paper vs measured)",
+    ))
+    # exact-by-construction: the corpus size matches the paper
+    assert summary["D-Samples"] == 1447
+    # exploit-yielding samples land on the paper's ~197
+    assert 150 <= summary["D-Exploits"] <= 250
+    # most of the 42 scheduled attack commands are eavesdropped
+    assert 30 <= summary["D-DDOS"] <= 42
+    # 7 probed C2s observed over 4h slots for two weeks
+    assert summary["D-PC2"] >= 300
+    # D-C2s: the paper's 1160 does not reconcile with its own Figure 5
+    # (see EXPERIMENTS.md); we match Figure 5's reuse distribution, which
+    # yields a few hundred distinct C2s for 1447 binaries.
+    assert 150 <= summary["D-C2s"] <= 600

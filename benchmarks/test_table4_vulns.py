@@ -1,0 +1,36 @@
+"""Table 4: the exploited vulnerabilities and their sample counts."""
+
+from conftest import emit
+
+from repro.botnet.exploits import POPULARITY_WEIGHTS
+from repro.core import exploit_analysis
+from repro.core.report import render_table
+
+
+def test_table4_vulnerabilities(benchmark, datasets):
+    rows = benchmark(exploit_analysis.table4, datasets)
+    emit(render_table(
+        ["ID", "Vulnerability", "Exploit ID", "Published", "Device",
+         "paper #", "measured #"],
+        [[r.vulnerability.vuln_id, r.vulnerability.key,
+          r.vulnerability.exploit_id or "N/A", r.vulnerability.published,
+          r.vulnerability.target_device[:28],
+          POPULARITY_WEIGHTS[r.vulnerability.key], r.sample_count]
+         for r in rows],
+        title="Table 4 — exploited vulnerabilities",
+    ))
+    # near-complete coverage of the 12 vulnerability slots
+    assert len(exploit_analysis.observed_vulnerability_ids(datasets)) >= 10
+    # popularity ranking: the paper's top four dominate here too
+    top4 = set(exploit_analysis.top4_vulnerabilities(datasets))
+    assert len(top4 & {"CVE-2018-10561", "CVE-2018-10562", "CVE-2015-2051",
+                       "MVPOWER-DVR-RCE"}) >= 3
+    # age profile: most exploited vulnerabilities are years old; the
+    # newest (CVE-2021-45382) is months old
+    total_ids = len(exploit_analysis.observed_vulnerability_ids(datasets))
+    old = exploit_analysis.old_vulnerability_count(datasets, years=2.5)
+    emit(f"vulnerability ids observed: {total_ids}; >=2.5y old: {old}; "
+         f"newest: {exploit_analysis.newest_vulnerability_age_months(datasets):.0f} months")
+    assert old >= total_ids - 4
+    newest = exploit_analysis.newest_vulnerability_age_months(datasets)
+    assert newest < 24

@@ -1,0 +1,27 @@
+"""Table 7: per-vendor C2 detections over a 1000-IP reference set."""
+
+from conftest import emit
+
+from repro.core import ti_analysis
+from repro.core.report import render_table
+from repro.intel.vendors import TABLE7_VENDORS
+
+
+def test_table7_vendor_detections(benchmark, world, datasets):
+    rows = benchmark(ti_analysis.table7, datasets, world.vt)
+    paper = dict(TABLE7_VENDORS)
+    emit(render_table(
+        ["vendor", "paper /1000", "measured /1000"],
+        [[name, paper.get(name, "-"), count] for name, count in rows[:20]],
+        title="Table 7 — top vendors flagging C2 IPs",
+    ))
+    assert rows
+    # the strongest feeds flag the large majority of the reference set
+    assert rows[0][1] > 600
+    # Table 7's real vendor names fill the top of the measured ranking
+    top_names = {name for name, _count in rows[:12]}
+    assert len(top_names & set(paper)) >= 8
+    # only ~44 of 89 vendors ever flag anything
+    active = ti_analysis.active_vendor_count(datasets, world.vt)
+    emit(f"vendors ever flagging a C2: paper 44 / measured {active}")
+    assert 25 <= active <= 44

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Active probing for live C2 servers (the D-PC2 experiment, section 2.3b).
+
+Stands up a small Internet with elusive C2 servers hidden among benign
+web hosts, weaponizes two malware samples, and probes six /24 subnets on
+the paper's twelve ports every four hours for a week.  Prints a
+Figure 4-style probe-response matrix and the elusiveness statistics.
+
+Run:  python examples/active_probing_study.py
+"""
+
+import random
+
+from repro.core.probing import ProbingCampaign
+from repro.core.report import render_probe_matrix
+from repro.core.study import select_probe_binaries
+from repro.sandbox import CncHunterSandbox, MipsEmulator, SANDBOX_IP
+from repro.world import StudyScale, generate_world
+
+
+def main() -> None:
+    scale = StudyScale(sample_fraction=0.03, probe_days=7)
+    world = generate_world(seed=1312, scale=scale)
+    world.internet.ensure_host(SANDBOX_IP)
+
+    sandbox = CncHunterSandbox(
+        random.Random(4), world.internet,
+        emulator=MipsEmulator(random.Random(5), activation_rate=1.0),
+    )
+    campaign = ProbingCampaign(
+        internet=world.internet,
+        sandbox=sandbox,
+        subnets=list(world.truth.probe_subnets),
+        sample_binaries=select_probe_binaries(world),
+        start=world.probe_start,
+        days=scale.probe_days,
+    )
+    print(f"probing {len(campaign.subnets)} subnets x "
+          f"{len(campaign.ports)} ports, {campaign.slots_per_day} probes/day "
+          f"for {campaign.days} days ...")
+    campaign.run()
+
+    print()
+    print(render_probe_matrix(
+        campaign.response_matrix(),
+        f"discovered {len(campaign.discovered)} C2 servers:",
+    ))
+    print()
+    rate = campaign.repeat_response_rate()
+    print(f"P(responds again 4h after a success): {rate:.0%} "
+          f"(paper: ~9% — i.e. 91% of the time it does NOT)")
+    print(f"any server ever answered all 6 daily probes: "
+          f"{campaign.any_full_day_response()} (paper: never)")
+    engaged = sum(1 for obs in campaign.observations if obs.engaged)
+    print(f"D-PC2 records: {len(campaign.observations)} probe "
+          f"observations, {engaged} engagements")
+
+
+if __name__ == "__main__":
+    main()

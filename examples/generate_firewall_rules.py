@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""From malware binaries to firewall rules (the paper's deployment goal).
+
+Runs a small study, then compiles what MalNet learned — live C2 servers,
+downloader hosts, exploit payloads, observed DDoS signatures — into
+iptables drops, dnsmasq blackholes, and Snort signatures, each annotated
+with its provenance.
+
+Run:  python examples/generate_firewall_rules.py
+"""
+
+from repro import StudyScale, generate_world, run_study
+from repro.core.firewall import compile_rules, coverage_report
+
+
+def main() -> None:
+    scale = StudyScale(sample_fraction=0.12, probe_days=4)
+    world = generate_world(seed=1447, scale=scale)
+    print(f"running study over {scale.total_samples} samples ...")
+    _malnet, _probing, datasets = run_study(world)
+
+    bundle = compile_rules(datasets)
+    print()
+    for technology in ("iptables", "dnsmasq", "snort"):
+        rules = bundle.by_technology(technology)
+        print(f"--- {technology} ({len(rules)} rules) " + "-" * 30)
+        for rule in rules[:6]:
+            print(rule.render())
+        if len(rules) > 6:
+            print(f"... and {len(rules) - 6} more")
+        print()
+
+    report = coverage_report(datasets, bundle)
+    print(f"coverage: {report['c2_coverage']:.0%} of verified C2s blocked; "
+          f"{report['binary_coverage']:.0%} of C2-bearing binaries "
+          f"neutralized")
+    print("(the gap between the two is the paper's §3.3 point: blocking a "
+          "shared C2 contains every binary that uses it)")
+
+
+if __name__ == "__main__":
+    main()

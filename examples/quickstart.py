@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: run a small MalNet study end to end.
+
+Generates a scaled-down closed world (IoT malware campaigns, C2 servers,
+threat-intel feeds), runs the full MalNet pipeline over it — daily
+collection, sandbox activation, C2 detection, exploit extraction, live
+DDoS eavesdropping, subnet probing — and prints the headline results.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import StudyScale, generate_world, run_study
+from repro.core import c2_analysis, ti_analysis
+from repro.core.report import render_comparison
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 20220322
+    scale = StudyScale(sample_fraction=0.15, probe_days=7,
+                       observe_duration=1800.0)
+    print(f"generating world (seed={seed}, "
+          f"{scale.total_samples} samples) ...")
+    world = generate_world(seed=seed, scale=scale)
+    print("running the MalNet study ...")
+    malnet, probing, datasets = run_study(world)
+
+    print()
+    summary = datasets.summary()
+    print(render_comparison(
+        [(name, "-", str(size)) for name, size in summary.items()],
+        "Dataset sizes (Table 1 shape)",
+    ))
+
+    with_c2 = [p for p in datasets.profiles if p.has_c2]
+    live = sum(p.c2_live_on_day0 for p in with_c2)
+    print()
+    print(f"binaries analyzed:        {len(datasets.profiles)}")
+    print(f"  activated:              "
+          f"{sum(p.activated for p in datasets.profiles)}")
+    print(f"  P2P (no central C2):    "
+          f"{sum(p.is_p2p for p in datasets.profiles)}")
+    print(f"  C2 detected:            {len(with_c2)}")
+    print(f"  C2 live on day 0:       {live} "
+          f"({live / max(1, len(with_c2)):.0%})")
+
+    rates = ti_analysis.table3(datasets)
+    print()
+    print("threat-intel misses (same-day -> May 7 re-query):")
+    for kind, entry in rates.items():
+        print(f"  {kind:<10} {entry.same_day:6.1%} -> {entry.recheck:6.1%} "
+              f"(n={entry.count})")
+
+    print()
+    print(f"probing: discovered {len(probing.discovered)} C2s; "
+          f"repeat-response rate "
+          f"{probing.repeat_response_rate():.0%} (paper: ~9%)")
+    print(f"attacks eavesdropped: {len(datasets.d_ddos)} "
+          f"({sorted({r.attack_type for r in datasets.d_ddos})})")
+    print(f"dead-on-arrival C2 rate: "
+          f"{c2_analysis.dead_on_arrival_rate(datasets):.0%} (paper: 60%)")
+
+    print()
+    print("three example binary profiles:")
+    interesting = sorted(datasets.profiles,
+                         key=lambda p: -(len(p.attacks) * 10 + len(p.exploits)))
+    for profile in interesting[:3]:
+        print(" ", profile.summary_line())
+
+
+if __name__ == "__main__":
+    main()

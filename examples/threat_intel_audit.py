@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Audit threat-intelligence feed effectiveness (section 3.3).
+
+Runs a mid-size study, then measures the TI feeds exactly as the paper
+does: query VirusTotal's 89 vendor feeds on the day each C2 is
+discovered, re-query months later, and count how many feeds ever flag
+each known C2.
+
+Run:  python examples/threat_intel_audit.py
+"""
+
+from repro import StudyScale, generate_world, run_study
+from repro.core import ti_analysis
+from repro.core.report import render_cdf, render_table
+
+
+def main() -> None:
+    scale = StudyScale(sample_fraction=0.25, probe_days=4)
+    world = generate_world(seed=89, scale=scale)
+    print(f"running study over {scale.total_samples} samples ...")
+    _malnet, _probing, datasets = run_study(world)
+
+    rates = ti_analysis.table3(datasets)
+    print()
+    print(render_table(
+        ["Type", "Same Day miss", "Re-query miss", "n"],
+        [[name, f"{entry.same_day:.1%}", f"{entry.recheck:.1%}",
+          entry.count] for name, entry in rates.items()],
+        title="Table 3 — C2s unknown to the feeds "
+              "(paper: 15.3% / 3.3% for All)",
+    ))
+
+    print()
+    points = ti_analysis.vendor_count_cdf(datasets, world.vt)
+    print(render_cdf(points, "Figure 7 — #vendors flagging a known C2",
+                     "#vendors"))
+    low = ti_analysis.low_coverage_share(datasets, world.vt)
+    print(f"\nC2s covered by <=2 feeds: {low:.0%} (paper: ~25%) — "
+          "intelligence sharing is absent or lagging")
+
+    print()
+    rows = ti_analysis.table7(datasets, world.vt)[:10]
+    print(render_table(
+        ["vendor", "detections /1000 C2 IPs"],
+        [[name, count] for name, count in rows],
+        title="Table 7 (top 10 vendors)",
+    ))
+    active = ti_analysis.active_vendor_count(datasets, world.vt)
+    print(f"\nvendors that ever flag an IoT C2: {active}/89 (paper: 44/89)")
+    print("takeaway: an effective blacklist must aggregate many feeds, "
+          "and still loses to 1-day C2 lifespans without same-day data.")
+
+
+if __name__ == "__main__":
+    main()

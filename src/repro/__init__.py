@@ -1,0 +1,32 @@
+"""MalNet reproduction: binary-centric network-level IoT malware profiling.
+
+A closed-world reimplementation of "MalNet: A binary-centric network-level
+profiling of IoT Malware" (Davanian & Faloutsos, IMC 2022).  The public
+entry points:
+
+>>> from repro import generate_world, run_study, SMOKE_SCALE
+>>> world = generate_world(scale=SMOKE_SCALE)
+>>> malnet, probing, datasets = run_study(world)
+>>> datasets.summary()                        # Table 1
+"""
+
+from .core.datasets import Datasets
+from .core.pipeline import MalNet, PipelineConfig
+from .core.study import run_study
+from .world.calibration import FULL_SCALE, SMOKE_SCALE, StudyScale
+from .world.generator import World, generate_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Datasets",
+    "FULL_SCALE",
+    "MalNet",
+    "PipelineConfig",
+    "SMOKE_SCALE",
+    "StudyScale",
+    "World",
+    "__version__",
+    "generate_world",
+    "run_study",
+]

@@ -1,0 +1,57 @@
+"""Traffic analysis: C2 detection, DDoS detection, statistics."""
+
+from .c2_detect import (
+    C2Candidate,
+    classify_flow,
+    detect_c2_flows,
+    detect_p2p,
+    resolve_endpoint_name,
+)
+from .ddos_detect import (
+    ProfiledCommand,
+    RATE_THRESHOLD,
+    RateBurst,
+    attribute_burst,
+    profile_stream,
+    rate_bursts,
+    target_in_command_bytes,
+    verify_flooding,
+)
+from .stats import (
+    CdfPoint,
+    count_by,
+    day_number,
+    empirical_cdf,
+    fraction_at_most,
+    mean,
+    quantile,
+    share_by,
+    top_n,
+    week_number,
+)
+
+__all__ = [
+    "C2Candidate",
+    "CdfPoint",
+    "ProfiledCommand",
+    "RATE_THRESHOLD",
+    "RateBurst",
+    "attribute_burst",
+    "classify_flow",
+    "count_by",
+    "day_number",
+    "detect_c2_flows",
+    "detect_p2p",
+    "empirical_cdf",
+    "fraction_at_most",
+    "mean",
+    "profile_stream",
+    "quantile",
+    "rate_bursts",
+    "resolve_endpoint_name",
+    "share_by",
+    "target_in_command_bytes",
+    "top_n",
+    "verify_flooding",
+    "week_number",
+]

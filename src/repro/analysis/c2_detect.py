@@ -1,0 +1,101 @@
+"""C2-bound traffic detection (CnCHunter's analysis half).
+
+Given a capture of an activated sample's traffic inside the fake-Internet
+sandbox, identify which flow is the C2 channel, which endpoint (IP or
+domain) it points at, and whether the sample is P2P instead.  The paper
+reports ~90% precision for this step (section 2.1); the heuristics here
+are the same in spirit — protocol check-in signatures first, persistent
+bidirectional exchange as the fallback — and their precision is measured
+on adversarial captures in the test suite rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..botnet.protocols import daddyl33t, gafgyt, irc, mirai, p2p
+from ..netsim.capture import Capture
+from ..netsim.flows import Flow, FlowTable
+from ..netsim.packet import Protocol
+
+_CHECKIN_SIGNATURES = (
+    ("mirai", mirai.is_checkin),
+    ("gafgyt", gafgyt.is_checkin),
+    ("daddyl33t", daddyl33t.is_checkin),
+    ("tsunami", irc.is_checkin),
+)
+
+
+@dataclass(frozen=True)
+class C2Candidate:
+    """One detected C2 channel."""
+
+    host: int
+    port: int
+    dialect: str        # family-protocol guess, or "unknown"
+    confidence: float   # 1.0 = signature match, lower = behavioral
+
+
+def classify_flow(flow: Flow) -> C2Candidate | None:
+    """Classify a single flow as C2 or not."""
+    if flow.protocol != Protocol.TCP:
+        return None
+    client_bytes = bytes(flow.payload_fwd)
+    if not client_bytes:
+        return None
+    for dialect, signature in _CHECKIN_SIGNATURES:
+        if signature(client_bytes):
+            return C2Candidate(flow.responder, flow.responder_port, dialect, 1.0)
+    # behavioral fallback: persistent bidirectional low-volume exchange
+    if (
+        flow.bidirectional
+        and flow.packets_fwd >= 3
+        and len(client_bytes) < 4096
+        and flow.bytes_rev > 0
+    ):
+        return C2Candidate(flow.responder, flow.responder_port, "unknown", 0.5)
+    return None
+
+
+def detect_c2_flows(capture: Capture, bot_ip: int) -> list[C2Candidate]:
+    """All C2 candidates in a sample's capture, best-confidence first.
+
+    Candidates are deduplicated per (host, port); signature matches beat
+    behavioral matches.
+    """
+    table = FlowTable.from_capture(capture)
+    best: dict[tuple[int, int], C2Candidate] = {}
+    for flow in table.flows_from(bot_ip):
+        candidate = classify_flow(flow)
+        if candidate is None:
+            continue
+        key = (candidate.host, candidate.port)
+        current = best.get(key)
+        if current is None or candidate.confidence > current.confidence:
+            best[key] = candidate
+    return sorted(best.values(), key=lambda c: -c.confidence)
+
+
+def detect_p2p(datagram_payloads: list[bytes]) -> bool:
+    """True when the sample's UDP traffic is dominated by DHT queries."""
+    if not datagram_payloads:
+        return False
+    dht = sum(1 for payload in datagram_payloads if p2p.is_dht_query(payload))
+    return 2 * dht > len(datagram_payloads)
+
+
+def resolve_endpoint_name(
+    candidate: C2Candidate, dns_bindings: dict[str, int]
+) -> str:
+    """Render a candidate as the IoC string the pipeline records.
+
+    If the candidate's address came out of a sandbox DNS answer, the IoC
+    is the *domain* (that is what the binary embeds); otherwise the
+    dotted IP literal.
+    """
+    from ..netsim.addresses import int_to_ip
+
+    for name, address in dns_bindings.items():
+        if address == candidate.host:
+            return name
+    return int_to_ip(candidate.host)

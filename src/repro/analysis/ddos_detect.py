@@ -1,0 +1,126 @@
+"""DDoS command detection: protocol profilers + the behavioral heuristic.
+
+Implements both detection methods of section 2.5 and the two manual
+verification checks:
+
+a. **Protocol profilers** — decode server→bot streams with the Mirai,
+   Gafgyt and Daddyl33t profiles (the three the paper builds).
+b. **Behavioral heuristic** — count packets to non-C2 addresses per
+   second; a rate above 100 pps marks an attack, attributed to the last
+   C2 command received before the burst.
+
+Verification: (a) the bot must actually flood the commanded target;
+(b) the burst's target must appear (text or binary) inside the attributed
+command bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..botnet.protocols import daddyl33t, gafgyt, mirai
+from ..botnet.protocols.base import AttackCommand
+from ..netsim.addresses import int_to_ip
+from ..netsim.capture import Capture
+
+#: packets/second to a non-C2 host that marks a DDoS burst (section 2.5b)
+RATE_THRESHOLD = 100.0
+
+PROFILERS = (
+    ("mirai", mirai.extract_commands),
+    ("gafgyt", gafgyt.extract_commands),
+    ("daddyl33t", daddyl33t.extract_commands),
+)
+
+
+@dataclass(frozen=True)
+class ProfiledCommand:
+    """A DDoS command recovered from C2 traffic by a protocol profile."""
+
+    family_profile: str
+    command: AttackCommand
+
+
+def profile_stream(server_stream: bytes) -> list[ProfiledCommand]:
+    """Run all three protocol profiles over a server→bot stream."""
+    found: list[ProfiledCommand] = []
+    seen: set[tuple] = set()
+    for name, extractor in PROFILERS:
+        for command in extractor(server_stream):
+            key = (command.method, command.target_ip, command.target_port,
+                   command.duration)
+            if key in seen:
+                continue
+            seen.add(key)
+            found.append(ProfiledCommand(name, command))
+    return found
+
+
+@dataclass(frozen=True)
+class RateBurst:
+    """A >threshold packet burst to one non-C2 destination."""
+
+    target: int
+    start: float
+    packets: int
+    rate: float
+
+
+def rate_bursts(
+    capture: Capture,
+    bot_ip: int,
+    c2_hosts: set[int],
+    threshold: float = RATE_THRESHOLD,
+) -> list[RateBurst]:
+    """Per-second outbound packet rates to non-C2 hosts above threshold."""
+    buckets: dict[tuple[int, int], int] = {}
+    for pkt in capture:
+        if pkt.src != bot_ip or pkt.dst in c2_hosts:
+            continue
+        key = (pkt.dst, int(pkt.timestamp))
+        buckets[key] = buckets.get(key, 0) + 1
+    bursts: list[RateBurst] = []
+    flagged: set[int] = set()
+    for (dst, second), count in sorted(buckets.items(), key=lambda kv: kv[0][1]):
+        if count > threshold and dst not in flagged:
+            flagged.add(dst)
+            bursts.append(
+                RateBurst(target=dst, start=float(second), packets=count,
+                          rate=float(count))
+            )
+    return bursts
+
+
+# -- manual verification steps (section 2.5) ----------------------------------
+
+
+def verify_flooding(
+    command: AttackCommand, capture: Capture, bot_ip: int, min_packets: int = 50
+) -> bool:
+    """Method-a check: did the bot continuously flood the commanded target?"""
+    count = sum(
+        1 for pkt in capture if pkt.src == bot_ip and pkt.dst == command.target_ip
+    )
+    return count >= min_packets
+
+
+def target_in_command_bytes(target: int, command_bytes: bytes) -> bool:
+    """Method-b check: the burst target appears in the raw C2 command.
+
+    Searches both the dotted-quad string and the 4-byte big-endian binary
+    representation (Mirai encodes targets in binary).
+    """
+    text = int_to_ip(target).encode("ascii")
+    binary = struct.pack("!I", target)
+    return text in command_bytes or binary in command_bytes
+
+
+def attribute_burst(
+    burst: RateBurst, commands: list[ProfiledCommand]
+) -> ProfiledCommand | None:
+    """Attach a burst to the profiled command naming its target."""
+    for profiled in reversed(commands):  # last issued first
+        if profiled.command.target_ip == burst.target:
+            return profiled
+    return None

@@ -1,0 +1,89 @@
+"""Statistics helpers used by every figure: CDFs, buckets, summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class CdfPoint:
+    """One step of an empirical CDF."""
+
+    value: float
+    fraction: float
+
+
+def empirical_cdf(values: Iterable[float]) -> list[CdfPoint]:
+    """Empirical CDF as (value, P(X <= value)) steps over distinct values."""
+    ordered = sorted(values)
+    if not ordered:
+        return []
+    total = len(ordered)
+    points: list[CdfPoint] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1].value == value:
+            points[-1] = CdfPoint(value, index / total)
+        else:
+            points.append(CdfPoint(value, index / total))
+    return points
+
+
+def fraction_at_most(values: Sequence[float], threshold: float) -> float:
+    """P(X <= threshold) over the sample."""
+    if not values:
+        raise ValueError("empty sample")
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Inclusive-rank quantile (q in [0, 1])."""
+    if not values:
+        raise ValueError("empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("empty sample")
+    return sum(values) / len(values)
+
+
+def count_by(items: Iterable, key) -> dict:
+    """Histogram of ``key(item)`` counts."""
+    counts: dict = {}
+    for item in items:
+        k = key(item)
+        counts[k] = counts.get(k, 0) + 1
+    return counts
+
+
+def share_by(items: Sequence, key) -> dict:
+    """Like :func:`count_by` but normalized to fractions."""
+    counts = count_by(items, key)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {k: v / total for k, v in counts.items()}
+
+
+def top_n(counts: dict, n: int) -> list[tuple]:
+    """Highest-count (key, count) pairs, ties broken by key for stability."""
+    return sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))[:n]
+
+
+def week_number(timestamp: float, epoch: float) -> int:
+    """Whole weeks elapsed since the study epoch (Figure 1's x-axis)."""
+    if timestamp < epoch:
+        raise ValueError("timestamp before epoch")
+    return int((timestamp - epoch) // (7 * 86400.0))
+
+
+def day_number(timestamp: float, epoch: float) -> int:
+    if timestamp < epoch:
+        raise ValueError("timestamp before epoch")
+    return int((timestamp - epoch) // 86400.0)

@@ -1,0 +1,43 @@
+"""Synthetic MIPS 32B malware binary substrate: ELF, configs, builder."""
+
+from .builder import MalwareSample, build_chaff, build_sample
+from .config import (
+    BotConfig,
+    ConfigError,
+    MIRAI_TABLE_KEY,
+    pack_config,
+    unpack_config,
+    xor_deobfuscate,
+    xor_obfuscate,
+)
+from .elf import ElfError, ElfImage, Section, is_mips32_elf, machine_name
+from .strings import (
+    contains_any,
+    extract_domains,
+    extract_ips,
+    extract_strings,
+    extract_urls,
+)
+
+__all__ = [
+    "BotConfig",
+    "ConfigError",
+    "ElfError",
+    "ElfImage",
+    "MIRAI_TABLE_KEY",
+    "MalwareSample",
+    "Section",
+    "build_chaff",
+    "build_sample",
+    "contains_any",
+    "extract_domains",
+    "extract_ips",
+    "extract_strings",
+    "extract_urls",
+    "is_mips32_elf",
+    "machine_name",
+    "pack_config",
+    "unpack_config",
+    "xor_deobfuscate",
+    "xor_obfuscate",
+]

@@ -1,0 +1,186 @@
+"""Bot configuration blobs and Mirai-style XOR obfuscation.
+
+Real IoT malware embeds its operational parameters — C2 address, scan
+ports, attack arsenal, loader/downloader URL — inside the binary.  Mirai
+famously obfuscates its config table with a 4-byte XOR key (0xDEADBEEF in
+the leaked source).  Our synthetic binaries do the same: the sandbox's
+"emulation" recovers the config from the ``.config`` section, decrypting
+it when the family obfuscates, which is the moral equivalent of executing
+the unpacking stub under QEMU.
+
+The cleartext format is a tagged length-value encoding so it survives
+byte-level corruption checks and supports optional fields.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+MAGIC = b"BCFG"
+
+#: Mirai's leaked source uses table_key = 0xdeadbeef (applied byte-wise).
+MIRAI_TABLE_KEY = 0xDEADBEEF
+
+# Tag values for the TLV fields.
+TAG_FAMILY = 1
+TAG_C2_HOST = 2        # dotted IP or domain name (ascii)
+TAG_C2_PORT = 3
+TAG_SCAN_PORTS = 4     # sequence of u16
+TAG_EXPLOIT_IDS = 5    # sequence of u16 vulnerability ids
+TAG_LOADER_NAME = 6
+TAG_DOWNLOADER = 7     # "host:port" of the loader/download server
+TAG_ATTACKS = 8        # comma-separated attack method names
+TAG_VARIANT = 9
+TAG_P2P_BOOTSTRAP = 10 # comma-separated peer "ip:port" list
+
+
+class ConfigError(ValueError):
+    """Raised when a config blob cannot be decoded."""
+
+
+@dataclass
+class BotConfig:
+    """Operational parameters embedded in a synthetic malware binary."""
+
+    family: str
+    c2_host: str = ""
+    c2_port: int = 0
+    scan_ports: list[int] = field(default_factory=list)
+    exploit_ids: list[int] = field(default_factory=list)
+    loader_name: str = ""
+    downloader: str = ""
+    attacks: list[str] = field(default_factory=list)
+    variant: str = ""
+    p2p_bootstrap: list[str] = field(default_factory=list)
+
+    @property
+    def uses_dns(self) -> bool:
+        """True when the C2 endpoint is a domain name rather than an IP."""
+        return bool(self.c2_host) and not self.c2_host.replace(".", "").isdigit()
+
+    @property
+    def is_p2p(self) -> bool:
+        """P2P families (Mozi/Hajime) have bootstrap peers, not a C2."""
+        return bool(self.p2p_bootstrap)
+
+    # -- TLV encoding --------------------------------------------------------
+
+    def encode(self) -> bytes:
+        out = bytearray(MAGIC)
+
+        def put(tag: int, payload: bytes) -> None:
+            if len(payload) > 0xFFFF:
+                raise ConfigError(f"field {tag} too long")
+            out.extend(struct.pack("!BH", tag, len(payload)))
+            out.extend(payload)
+
+        put(TAG_FAMILY, self.family.encode("ascii"))
+        if self.c2_host:
+            put(TAG_C2_HOST, self.c2_host.encode("ascii"))
+        if self.c2_port:
+            put(TAG_C2_PORT, struct.pack("!H", self.c2_port))
+        if self.scan_ports:
+            put(TAG_SCAN_PORTS, struct.pack(f"!{len(self.scan_ports)}H", *self.scan_ports))
+        if self.exploit_ids:
+            put(TAG_EXPLOIT_IDS, struct.pack(f"!{len(self.exploit_ids)}H", *self.exploit_ids))
+        if self.loader_name:
+            put(TAG_LOADER_NAME, self.loader_name.encode("ascii"))
+        if self.downloader:
+            put(TAG_DOWNLOADER, self.downloader.encode("ascii"))
+        if self.attacks:
+            put(TAG_ATTACKS, ",".join(self.attacks).encode("ascii"))
+        if self.variant:
+            put(TAG_VARIANT, self.variant.encode("ascii"))
+        if self.p2p_bootstrap:
+            put(TAG_P2P_BOOTSTRAP, ",".join(self.p2p_bootstrap).encode("ascii"))
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BotConfig":
+        if not data.startswith(MAGIC):
+            raise ConfigError("bad config magic")
+        offset = len(MAGIC)
+        fields: dict[int, bytes] = {}
+        while offset < len(data):
+            if offset + 3 > len(data):
+                raise ConfigError("truncated TLV header")
+            tag, length = struct.unpack("!BH", data[offset : offset + 3])
+            offset += 3
+            if offset + length > len(data):
+                raise ConfigError("truncated TLV payload")
+            fields[tag] = data[offset : offset + length]
+            offset += length
+        if TAG_FAMILY not in fields:
+            raise ConfigError("missing family field")
+
+        def text(tag: int) -> str:
+            return fields.get(tag, b"").decode("ascii")
+
+        def u16_list(tag: int) -> list[int]:
+            raw = fields.get(tag, b"")
+            if len(raw) % 2:
+                raise ConfigError(f"odd u16 list for tag {tag}")
+            return list(struct.unpack(f"!{len(raw) // 2}H", raw))
+
+        def csv(tag: int) -> list[str]:
+            raw = text(tag)
+            return raw.split(",") if raw else []
+
+        c2_port = 0
+        if TAG_C2_PORT in fields:
+            if len(fields[TAG_C2_PORT]) != 2:
+                raise ConfigError("bad c2 port field")
+            (c2_port,) = struct.unpack("!H", fields[TAG_C2_PORT])
+        return cls(
+            family=text(TAG_FAMILY),
+            c2_host=text(TAG_C2_HOST),
+            c2_port=c2_port,
+            scan_ports=u16_list(TAG_SCAN_PORTS),
+            exploit_ids=u16_list(TAG_EXPLOIT_IDS),
+            loader_name=text(TAG_LOADER_NAME),
+            downloader=text(TAG_DOWNLOADER),
+            attacks=csv(TAG_ATTACKS),
+            variant=text(TAG_VARIANT),
+            p2p_bootstrap=csv(TAG_P2P_BOOTSTRAP),
+        )
+
+
+def xor_obfuscate(data: bytes, key: int = MIRAI_TABLE_KEY) -> bytes:
+    """Mirai table obfuscation: XOR each byte with the folded 4-byte key.
+
+    Mirai's ``table.c`` folds the 32-bit key to a single byte
+    (``k1^k2^k3^k4``) and XORs every byte with it; the operation is its own
+    inverse.
+    """
+    k = (key & 0xFF) ^ ((key >> 8) & 0xFF) ^ ((key >> 16) & 0xFF) ^ ((key >> 24) & 0xFF)
+    return bytes(b ^ k for b in data)
+
+
+def xor_deobfuscate(data: bytes, key: int = MIRAI_TABLE_KEY) -> bytes:
+    """Inverse of :func:`xor_obfuscate` (XOR is an involution)."""
+    return xor_obfuscate(data, key)
+
+
+def pack_config(config: BotConfig, obfuscate: bool) -> bytes:
+    """Produce the ``.config`` section payload, optionally obfuscated.
+
+    A 1-byte flag prefix records whether the rest is XORed so the sandbox
+    can mimic the unpacking the real bot performs at startup.
+    """
+    body = config.encode()
+    if obfuscate:
+        return b"\x01" + xor_obfuscate(body)
+    return b"\x00" + body
+
+
+def unpack_config(payload: bytes) -> BotConfig:
+    """Recover a :class:`BotConfig` from a ``.config`` section payload."""
+    if not payload:
+        raise ConfigError("empty config payload")
+    flag, body = payload[0], payload[1:]
+    if flag == 1:
+        body = xor_deobfuscate(body)
+    elif flag != 0:
+        raise ConfigError(f"unknown obfuscation flag {flag}")
+    return BotConfig.decode(body)

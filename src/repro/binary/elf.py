@@ -1,0 +1,258 @@
+"""Minimal ELF32 encoder/parser for synthetic MIPS malware binaries.
+
+The study is restricted to MIPS 32-bit executables (section 2.1), so the
+collection pipeline must be able to recognize them — real feeds deliver
+binaries for many architectures and MalNet filters on the ELF header.
+This module builds and parses genuine ELF32 images: magic, class,
+endianness, ``e_machine`` (EM_MIPS = 8), entry point, program headers and a
+section table carrying the synthetic ``.text``, ``.rodata`` and the
+Mirai-style ``.config`` blob.
+
+Parsing is strict enough to reject non-ELF files, 64-bit ELFs and non-MIPS
+machines, which is exactly the filtering MalNet's collector performs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS32 = 1
+ELFCLASS64 = 2
+ELFDATA2LSB = 1  # little endian
+ELFDATA2MSB = 2  # big endian
+EV_CURRENT = 1
+ET_EXEC = 2
+EM_MIPS = 8
+EM_ARM = 40
+EM_386 = 3
+EM_X86_64 = 62
+
+EHDR_SIZE = 52
+PHDR_SIZE = 32
+SHDR_SIZE = 40
+PT_LOAD = 1
+SHT_PROGBITS = 1
+SHT_STRTAB = 3
+
+#: Default virtual base address used by uClibc-style MIPS executables.
+DEFAULT_VADDR = 0x00400000
+
+
+class ElfError(ValueError):
+    """Raised when bytes are not a parseable ELF32 image."""
+
+
+@dataclass
+class Section:
+    """A named section with raw contents."""
+
+    name: str
+    data: bytes
+    sh_type: int = SHT_PROGBITS
+
+
+@dataclass
+class ElfImage:
+    """An in-memory ELF32 executable with named sections.
+
+    ``endianness`` is ``"big"`` or ``"little"``; the vast majority of
+    consumer MIPS IoT devices are big-endian, which the builder uses as its
+    default.
+    """
+
+    machine: int = EM_MIPS
+    endianness: str = "big"
+    entry: int = DEFAULT_VADDR + EHDR_SIZE + PHDR_SIZE
+    sections: list[Section] = field(default_factory=list)
+
+    @property
+    def is_mips32(self) -> bool:
+        return self.machine == EM_MIPS
+
+    def section(self, name: str) -> Section | None:
+        for sec in self.sections:
+            if sec.name == name:
+                return sec
+        return None
+
+    def add_section(self, name: str, data: bytes, sh_type: int = SHT_PROGBITS) -> None:
+        if self.section(name) is not None:
+            raise ElfError(f"duplicate section {name!r}")
+        self.sections.append(Section(name, data, sh_type))
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize to a valid ELF32 byte image."""
+        order = ">" if self.endianness == "big" else "<"
+        ei_data = ELFDATA2MSB if self.endianness == "big" else ELFDATA2LSB
+
+        # Layout: ehdr | phdr | section datas... | shstrtab | shdrs
+        shstrtab = bytearray(b"\x00")
+        name_offsets: list[int] = []
+        for sec in self.sections:
+            name_offsets.append(len(shstrtab))
+            shstrtab += sec.name.encode("ascii") + b"\x00"
+        shstrtab_name_off = len(shstrtab)
+        shstrtab += b".shstrtab\x00"
+
+        offset = EHDR_SIZE + PHDR_SIZE
+        section_offsets: list[int] = []
+        blob = bytearray()
+        for sec in self.sections:
+            section_offsets.append(offset + len(blob))
+            blob += sec.data
+        shstrtab_offset = offset + len(blob)
+        blob += bytes(shstrtab)
+        shoff = offset + len(blob)
+
+        shnum = len(self.sections) + 2  # null + shstrtab
+        ident = ELF_MAGIC + bytes([ELFCLASS32, ei_data, EV_CURRENT]) + b"\x00" * 9
+        ehdr = ident + struct.pack(
+            order + "HHIIIIIHHHHHH",
+            ET_EXEC,
+            self.machine,
+            EV_CURRENT,
+            self.entry,
+            EHDR_SIZE,        # e_phoff
+            shoff,            # e_shoff
+            0,                # e_flags
+            EHDR_SIZE,
+            PHDR_SIZE,
+            1,                # e_phnum
+            SHDR_SIZE,
+            shnum,
+            shnum - 1,        # e_shstrndx
+        )
+        filesz = shoff + shnum * SHDR_SIZE
+        phdr = struct.pack(
+            order + "IIIIIIII",
+            PT_LOAD, 0, DEFAULT_VADDR, DEFAULT_VADDR, filesz, filesz, 7, 0x1000
+        )
+
+        shdrs = bytearray(struct.pack(order + "IIIIIIIIII", *([0] * 10)))  # null
+        for sec, name_off, data_off in zip(
+            self.sections, name_offsets, section_offsets
+        ):
+            shdrs += struct.pack(
+                order + "IIIIIIIIII",
+                name_off,
+                sec.sh_type,
+                0,                        # flags
+                DEFAULT_VADDR + data_off, # addr
+                data_off,
+                len(sec.data),
+                0, 0, 4, 0,
+            )
+        shdrs += struct.pack(
+            order + "IIIIIIIIII",
+            shstrtab_name_off, SHT_STRTAB, 0, 0,
+            shstrtab_offset, len(shstrtab), 0, 0, 1, 0,
+        )
+        return bytes(ehdr) + phdr + bytes(blob) + bytes(shdrs)
+
+    # -- decoding ----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, data: bytes) -> "ElfImage":
+        """Parse an ELF32 image produced by :meth:`encode` (or compatible)."""
+        if len(data) < EHDR_SIZE:
+            raise ElfError("file shorter than an ELF header")
+        if data[:4] != ELF_MAGIC:
+            raise ElfError("bad ELF magic")
+        ei_class, ei_data, ei_version = data[4], data[5], data[6]
+        if ei_class == ELFCLASS64:
+            raise ElfError("64-bit ELF not supported (MIPS 32B study)")
+        if ei_class != ELFCLASS32:
+            raise ElfError(f"bad EI_CLASS {ei_class}")
+        if ei_data not in (ELFDATA2LSB, ELFDATA2MSB):
+            raise ElfError(f"bad EI_DATA {ei_data}")
+        if ei_version != EV_CURRENT:
+            raise ElfError(f"bad EI_VERSION {ei_version}")
+        order = ">" if ei_data == ELFDATA2MSB else "<"
+        (
+            _etype, machine, _version, entry, _phoff, shoff, _flags,
+            _ehsize, _phentsize, _phnum, shentsize, shnum, shstrndx,
+        ) = struct.unpack(order + "HHIIIIIHHHHHH", data[16:EHDR_SIZE])
+        image = cls(
+            machine=machine,
+            endianness="big" if ei_data == ELFDATA2MSB else "little",
+            entry=entry,
+        )
+        if shoff == 0 or shnum == 0:
+            return image
+        if shentsize != SHDR_SIZE:
+            raise ElfError(f"unexpected shentsize {shentsize}")
+        if shoff + shnum * SHDR_SIZE > len(data):
+            raise ElfError("section table out of bounds")
+
+        headers = []
+        for i in range(shnum):
+            start = shoff + i * SHDR_SIZE
+            headers.append(
+                struct.unpack(order + "IIIIIIIIII", data[start : start + SHDR_SIZE])
+            )
+        if shstrndx >= shnum:
+            raise ElfError("bad shstrndx")
+        str_off, str_size = headers[shstrndx][4], headers[shstrndx][5]
+        if str_off + str_size > len(data):
+            raise ElfError("string table out of bounds")
+        strtab = data[str_off : str_off + str_size]
+
+        def name_at(offset: int) -> str:
+            end = strtab.find(b"\x00", offset)
+            if end < 0:
+                raise ElfError("unterminated section name")
+            return strtab[offset:end].decode("ascii", "replace")
+
+        for i, hdr in enumerate(headers):
+            name_off, sh_type, _fl, _addr, sec_off, sec_size = hdr[:6]
+            if i == 0 or i == shstrndx or sh_type == 0:
+                continue
+            if sec_off + sec_size > len(data):
+                raise ElfError("section data out of bounds")
+            image.sections.append(
+                Section(name_at(name_off), data[sec_off : sec_off + sec_size], sh_type)
+            )
+        return image
+
+
+def is_mips32_elf(data: bytes) -> bool:
+    """Cheap check used by the collector to filter MIPS 32B binaries."""
+    try:
+        return ElfImage.parse(data).is_mips32
+    except ElfError:
+        return False
+
+
+#: architecture-name -> e_machine for the multi-arch extension (§6d)
+ARCH_MACHINES: dict[str, int] = {
+    "mips": EM_MIPS,
+    "arm": EM_ARM,
+    "x86": EM_386,
+}
+
+
+def is_supported_elf(data: bytes, machines: frozenset[int]) -> bool:
+    """Collector filter for a configurable architecture set.
+
+    The paper's deployment plan includes "expanding the supported
+    architectures" (section 6d); with ``machines == {EM_MIPS}`` this is
+    exactly :func:`is_mips32_elf`.
+    """
+    try:
+        return ElfImage.parse(data).machine in machines
+    except ElfError:
+        return False
+
+
+def machine_name(machine: int) -> str:
+    """Human-readable CPU architecture name for triage output."""
+    return {
+        EM_MIPS: "MIPS",
+        EM_ARM: "ARM",
+        EM_386: "x86",
+        EM_X86_64: "x86-64",
+    }.get(machine, f"unknown({machine})")

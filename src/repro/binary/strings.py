@@ -1,0 +1,59 @@
+"""Printable-string extraction from binaries (``strings``-style triage).
+
+Used by the YARA-like rule engine and by manual-verification helpers: the
+paper cross-checks unknown C2s by comparing captured traffic and binary
+artifacts against known family patterns (section 2.3).
+"""
+
+from __future__ import annotations
+
+import re
+
+_PRINTABLE = re.compile(rb"[\x20-\x7e]{%d,}")
+
+
+def extract_strings(data: bytes, min_length: int = 4) -> list[str]:
+    """All printable-ASCII runs of at least ``min_length`` characters."""
+    if min_length < 1:
+        raise ValueError("min_length must be >= 1")
+    pattern = re.compile(rb"[\x20-\x7e]{" + str(min_length).encode() + rb",}")
+    return [m.group().decode("ascii") for m in pattern.finditer(data)]
+
+
+def contains_any(data: bytes, needles: list[bytes]) -> bool:
+    """True if any needle occurs in the raw bytes."""
+    return any(needle in data for needle in needles)
+
+
+_IP_RE = re.compile(
+    r"\b(?:(?:25[0-5]|2[0-4]\d|1?\d?\d)\.){3}(?:25[0-5]|2[0-4]\d|1?\d?\d)\b"
+)
+_DOMAIN_RE = re.compile(
+    r"\b(?:[a-z0-9](?:[a-z0-9-]{0,61}[a-z0-9])?\.)+"
+    r"(?:com|net|org|info|biz|xyz|ru|cn|top|cc|pw|example)\b"
+)
+_URL_RE = re.compile(r"https?://[^\s\x00\"']+|wget http://[^\s\x00\"']+")
+
+
+def extract_ips(data: bytes) -> list[str]:
+    """Dotted-quad IPv4 literals found in the binary's strings."""
+    found: list[str] = []
+    for text in extract_strings(data, min_length=7):
+        found.extend(_IP_RE.findall(text))
+    return sorted(set(found))
+
+
+def extract_domains(data: bytes) -> list[str]:
+    """Domain-name literals found in the binary's strings."""
+    found: list[str] = []
+    for text in extract_strings(data, min_length=4):
+        found.extend(_DOMAIN_RE.findall(text.lower()))
+    return sorted(set(found))
+
+
+def extract_urls(data: bytes) -> list[str]:
+    """URL-ish literals (http(s):// and wget fragments)."""
+    found: list[str] = []
+    for text in extract_strings(data, min_length=8):
+        found.extend(_URL_RE.findall(text))
+    return sorted(set(found))

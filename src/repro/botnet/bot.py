@@ -1,0 +1,273 @@
+"""Bot runtime: the behavior a malware binary exhibits when activated.
+
+The sandbox's "QEMU emulation" of a synthetic sample boils down to driving
+one of these: a :class:`Bot` is constructed from the binary's recovered
+:class:`~repro.binary.config.BotConfig` and then performs the family's
+observable network behavior — C2 check-in and keepalive, proliferation
+scanning with credential/exploit delivery, P2P bootstrap for Mozi/Hajime,
+and DDoS execution when commanded.
+
+All network I/O goes through a :class:`NetworkAdapter` so the sandbox can
+interpose: fake the Internet entirely (observe mode), redirect C2 traffic
+to arbitrary probe targets (weaponized mode, CnCHunter's MITM trick), or
+complete handshakes as a fake victim (the handshaker of section 2.4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol as TypingProtocol
+
+from ..binary.config import BotConfig
+from ..netsim.addresses import ephemeral_port, ip_to_int, is_reserved
+from ..netsim.capture import Capture
+from ..netsim.packet import Packet, udp_packet
+from .ddos import AttackVariant, generate_attack
+from .exploits import EXPLOIT_INDEX, Vulnerability, vulnerability_for_index
+from .families import C2Dialect, Family, get_family
+from .protocols import daddyl33t, gafgyt, irc, mirai, p2p
+from .protocols.base import AttackCommand
+
+TELNET_PORTS = (23, 2323)
+
+#: Classic Mirai credential dictionary (excerpt) used on telnet scans.
+TELNET_CREDENTIALS = (
+    (b"root", b"xc3511"),
+    (b"root", b"vizxv"),
+    (b"admin", b"admin"),
+    (b"root", b"default"),
+    (b"support", b"support"),
+)
+
+
+class BotSession(TypingProtocol):
+    """The connection handle a :class:`NetworkAdapter` returns."""
+
+    def send(self, data: bytes) -> None: ...
+    def recv(self) -> bytes: ...
+    def close(self) -> None: ...
+
+
+class NetworkAdapter(TypingProtocol):
+    """The bot's view of the network; implemented by the sandbox."""
+
+    def tcp_connect(
+        self, dst: int, port: int, trace: Capture | None = None
+    ) -> BotSession | None: ...
+
+    def send_datagram(self, pkt: Packet, trace: Capture | None = None) -> None: ...
+
+    def dns_lookup(self, name: str, trace: Capture | None = None) -> int | None: ...
+
+
+@dataclass
+class ScanHit:
+    """One completed proliferation interaction (victim engaged)."""
+
+    target: int
+    port: int
+    payload: bytes
+    vulnerability: Vulnerability | None
+
+
+class Bot:
+    """Family behavior model driven by a recovered bot config."""
+
+    def __init__(self, config: BotConfig, bot_ip: int, rng: random.Random):
+        self.config = config
+        self.family: Family = get_family(config.family)
+        self.bot_ip = bot_ip
+        self.rng = rng
+        self._server_bytes = b""
+        self._bot_id = bytes(
+            rng.choice(b"abcdefghijklmnopqrstuvwxyz") for _ in range(8)
+        )
+
+    # -- C2 interaction -------------------------------------------------------
+
+    def resolve_c2(self, adapter: NetworkAdapter, trace: Capture | None = None) -> int | None:
+        """Resolve the configured C2 endpoint to an address."""
+        if not self.config.c2_host:
+            return None
+        if not self.config.uses_dns:
+            return ip_to_int(self.config.c2_host)
+        return adapter.dns_lookup(self.config.c2_host, trace)
+
+    def checkin_payload(self) -> bytes:
+        """The first application bytes the bot sends after connecting."""
+        dialect = self.family.dialect
+        if dialect == C2Dialect.MIRAI_BINARY:
+            return mirai.encode_checkin(self._bot_id)
+        if dialect == C2Dialect.GAFGYT_TEXT:
+            return gafgyt.CHECKIN
+        if dialect == C2Dialect.DADDYL33T_TEXT:
+            return daddyl33t.LOGIN
+        if dialect == C2Dialect.IRC:
+            return irc.encode_register(irc.random_nick(self.rng))
+        raise ValueError(f"{self.family.name} has no C2 check-in")
+
+    def keepalive_payload(self) -> bytes:
+        dialect = self.family.dialect
+        if dialect == C2Dialect.MIRAI_BINARY:
+            return mirai.KEEPALIVE
+        if dialect == C2Dialect.GAFGYT_TEXT:
+            return gafgyt.PING
+        if dialect == C2Dialect.DADDYL33T_TEXT:
+            return b"pong\r\n"
+        if dialect == C2Dialect.IRC:
+            return irc.encode_pong()
+        raise ValueError(f"{self.family.name} has no C2 keepalive")
+
+    def connect_c2(
+        self, adapter: NetworkAdapter, trace: Capture | None = None,
+        override_target: tuple[int, int] | None = None,
+    ) -> BotSession | None:
+        """Connect and check in; ``override_target`` is the MITM hook."""
+        if override_target is not None:
+            c2_ip, c2_port = override_target
+        else:
+            c2_ip = self.resolve_c2(adapter, trace)
+            c2_port = self.config.c2_port
+            if c2_ip is None or not c2_port:
+                return None
+        session = adapter.tcp_connect(c2_ip, c2_port, trace)
+        if session is None:
+            return None
+        session.send(self.checkin_payload())
+        self._server_bytes += session.recv()
+        return session
+
+    def poll_c2(self, session: BotSession) -> list[AttackCommand]:
+        """One keepalive round-trip; returns newly received commands."""
+        session.send(self.keepalive_payload())
+        self._server_bytes += session.recv()
+        return self.decode_commands()
+
+    def decode_commands(self) -> list[AttackCommand]:
+        """Bot-side decode of everything the server has sent so far."""
+        extractors = {
+            C2Dialect.MIRAI_BINARY: mirai.extract_commands,
+            C2Dialect.GAFGYT_TEXT: gafgyt.extract_commands,
+            C2Dialect.DADDYL33T_TEXT: daddyl33t.extract_commands,
+            C2Dialect.IRC: irc.extract_commands,
+        }
+        extractor = extractors.get(self.family.dialect)
+        if extractor is None:
+            return []
+        return extractor(self._server_bytes)
+
+    @property
+    def server_bytes(self) -> bytes:
+        """Raw server→bot stream accumulated so far (for the profilers)."""
+        return self._server_bytes
+
+    def reset_stream(self) -> None:
+        """Forget accumulated server bytes (fresh probe in weaponized mode)."""
+        self._server_bytes = b""
+
+    # -- P2P ------------------------------------------------------------------
+
+    def p2p_bootstrap(self, adapter: NetworkAdapter, trace: Capture | None = None) -> int:
+        """Emit DHT queries to the configured bootstrap peers."""
+        sent = 0
+        my_id = p2p.node_id(self.rng)
+        for peer in self.config.p2p_bootstrap:
+            host, _, port_text = peer.partition(":")
+            port = int(port_text) if port_text else p2p.MOZI_BOOTSTRAP_PORT
+            target = ip_to_int(host)
+            payload = p2p.encode_find_node(my_id, p2p.node_id(self.rng))
+            adapter.send_datagram(
+                udp_packet(self.bot_ip, target, ephemeral_port(self.rng), port, payload),
+                trace,
+            )
+            sent += 1
+        return sent
+
+    # -- proliferation ----------------------------------------------------------
+
+    def scan_targets(self, count: int) -> list[tuple[int, int]]:
+        """Pick ``count`` random (ip, port) scan targets.
+
+        Mirai-style bots always scan telnet; exploit-armed bots also scan
+        each vulnerability's service port.
+        """
+        ports = list(self.config.scan_ports) or list(TELNET_PORTS)
+        for index in self.config.exploit_ids:
+            vuln = EXPLOIT_INDEX.get(index)
+            if vuln is not None and vuln.port not in ports:
+                ports.append(vuln.port)
+        targets: list[tuple[int, int]] = []
+        while len(targets) < count:
+            address = self.rng.randrange(0x01000000, 0xDF000000)
+            if is_reserved(address):
+                continue
+            targets.append((address, self.rng.choice(ports)))
+        return targets
+
+    def attack_payload_for_port(self, port: int) -> tuple[bytes, Vulnerability | None]:
+        """What the bot sends once a victim on ``port`` accepts.
+
+        Telnet ports get a credential attempt; exploit ports get the
+        exploit request for the (first) armed vulnerability on that port.
+        """
+        if port in TELNET_PORTS:
+            user, password = self.rng.choice(TELNET_CREDENTIALS)
+            return user + b"\r\n" + password + b"\r\n", None
+        armed = [
+            vulnerability_for_index(index)
+            for index in self.config.exploit_ids
+            if index in EXPLOIT_INDEX
+        ]
+        matching = [vuln for vuln in armed if vuln.port == port]
+        if matching:
+            # bots cycle through every exploit they carry for a service,
+            # so victims on a shared port see each of them over time
+            vuln = self.rng.choice(matching)
+            downloader = self.config.downloader or self.config.c2_host
+            loader = self.config.loader_name or "bot.sh"
+            return vuln.build_payload(downloader, loader), vuln
+        # scanning a port it has no exploit for: probe with a bare GET
+        return b"GET / HTTP/1.0\r\n\r\n", None
+
+    def scan_burst(
+        self, adapter: NetworkAdapter, count: int, trace: Capture | None = None
+    ) -> list[ScanHit]:
+        """Scan ``count`` random targets, exploiting any that engage."""
+        hits: list[ScanHit] = []
+        for address, port in self.scan_targets(count):
+            session = adapter.tcp_connect(address, port, trace)
+            if session is None:
+                continue
+            payload, vuln = self.attack_payload_for_port(port)
+            session.send(payload)
+            session.recv()
+            session.close()
+            hits.append(ScanHit(address, port, payload, vuln))
+        return hits
+
+    # -- attacks -----------------------------------------------------------------
+
+    def execute_attack(
+        self,
+        adapter: NetworkAdapter,
+        command: AttackCommand,
+        start_time: float,
+        trace: Capture | None = None,
+        max_packets: int = 400,
+    ) -> int:
+        """Launch a commanded DDoS attack; returns packets emitted."""
+        variant = AttackVariant(
+            rotate_source_ports=self.variant_rotates_ports(),
+            rotate_dest_ports=self.config.variant.endswith(".b"),
+        )
+        packets = generate_attack(
+            command, self.bot_ip, self.rng, start_time, max_packets, variant
+        )
+        for pkt in packets:
+            adapter.send_datagram(pkt, trace)
+        return len(packets)
+
+    def variant_rotates_ports(self) -> bool:
+        """Mirai ``.b``-style variants rotate source ports (section 5.1)."""
+        return self.family.name == "mirai" and self.config.variant.endswith(".b")

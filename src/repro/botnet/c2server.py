@@ -1,0 +1,238 @@
+"""Simulated C2 servers: protocol dialects, elusiveness, attack issuance.
+
+A :class:`C2Server` is the service bound to a C2 host's port inside the
+virtual Internet.  It speaks its family's dialect server-side (answering
+check-ins and keepalives) and pushes scheduled :class:`AttackCommand`\\ s to
+connected bots — which is how the study eavesdrops on real attack launches
+(section 2.5).
+
+Elusiveness (section 3.2) is modeled by :class:`ResponsivenessModel`, a
+two-state Markov chain sampled on the paper's 4-hour probe grid and
+calibrated so that ~91% of the time a server that just responded will not
+respond again 4 hours later, while still being reachable often enough to
+be discovered at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..netsim.internet import SECONDS_PER_DAY
+from .families import C2Dialect, Family
+from .protocols import daddyl33t, gafgyt, irc, mirai
+from .protocols.base import AttackCommand
+
+#: Probe interval of the D-PC2 campaign: 4 hours (section 2.3b).
+SLOT_SECONDS = 4 * 3600.0
+
+
+class ResponsivenessModel:
+    """Markov-chain reachability of a C2 server on a 4-hour slot grid.
+
+    ``p_stay_open`` is P(open at slot k+1 | open at slot k); the paper
+    measures this at roughly 0.09 (91% of successful probes are not
+    followed by a second success 4h later).  ``p_open`` is the stationary
+    probability of being reachable in any given slot.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        p_open: float = 0.22,
+        p_stay_open: float = 0.09,
+        origin: float = 0.0,
+    ):
+        if not 0 < p_open < 1:
+            raise ValueError("p_open must be in (0, 1)")
+        if not 0 <= p_stay_open <= 1:
+            raise ValueError("p_stay_open must be in [0, 1]")
+        self._rng = random.Random(seed)
+        self._p_open = p_open
+        self._p_stay = p_stay_open
+        # balance: pi*P(stay) + (1-pi)*P(reopen) = pi
+        self._p_reopen = p_open * (1.0 - p_stay_open) / (1.0 - p_open)
+        if self._p_reopen > 1:
+            raise ValueError("inconsistent p_open/p_stay_open pair")
+        self._origin = origin
+        self._states: list[bool] = []
+
+    def _slot(self, now: float) -> int:
+        return max(0, int((now - self._origin) // SLOT_SECONDS))
+
+    def _extend_to(self, slot: int) -> None:
+        while len(self._states) <= slot:
+            if not self._states:
+                self._states.append(self._rng.random() < self._p_open)
+                continue
+            previous = self._states[-1]
+            threshold = self._p_stay if previous else self._p_reopen
+            self._states.append(self._rng.random() < threshold)
+
+    def is_open(self, now: float) -> bool:
+        """Reachability of the server in the slot containing ``now``."""
+        slot = self._slot(now)
+        self._extend_to(slot)
+        return self._states[slot]
+
+
+@dataclass
+class ScheduledAttack:
+    """An attack command the C2 will issue at (or after) ``when``.
+
+    A command is pushed once per *session* (the real CNC broadcasts to all
+    connected bots), and only within ``window`` seconds of its scheduled
+    time — an attack order is not replayed to bots that connect days later.
+    """
+
+    when: float
+    command: AttackCommand
+    window: float = 4 * 3600.0
+
+    def due(self, now: float) -> bool:
+        return self.when <= now < self.when + self.window
+
+
+class C2Server:
+    """Dialect-aware C2 service for the virtual Internet.
+
+    Implements :class:`repro.netsim.internet.TcpService`.  Per-session
+    protocol state lives on the session object; cross-session state (which
+    scheduled attacks a bot already received) lives here.
+    """
+
+    def __init__(
+        self,
+        family: Family,
+        rng: random.Random,
+        schedule: list[ScheduledAttack] | None = None,
+    ):
+        if family.dialect == C2Dialect.P2P:
+            raise ValueError("P2P families have no central C2 server")
+        self.family = family
+        self.rng = rng
+        self.schedule = schedule or []
+        #: bot addresses that ever completed a check-in
+        self.checked_in: set[int] = set()
+        #: (bot, command) deliveries, for ground-truth accounting
+        self.issued: list[tuple[int, AttackCommand, float]] = []
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule_attack(self, when: float, command: AttackCommand) -> None:
+        self.schedule.append(ScheduledAttack(when, command))
+        self.schedule.sort(key=lambda item: item.when)
+
+    def _due_commands(self, session, now: float) -> list[AttackCommand]:
+        delivered: set[int] = session.state.setdefault("delivered", set())
+        due: list[AttackCommand] = []
+        for index, item in enumerate(self.schedule):
+            if item.due(now) and index not in delivered:
+                delivered.add(index)
+                due.append(item.command)
+                self.issued.append((session.peer, item.command, now))
+        return due
+
+    # -- TcpService interface ---------------------------------------------------
+
+    def on_connect(self, session) -> None:
+        session.state["buffer"] = b""
+        session.state["registered"] = False
+        if self.family.dialect == C2Dialect.DADDYL33T_TEXT:
+            session.send(daddyl33t.WELCOME)
+        elif self.family.dialect == C2Dialect.IRC:
+            session.send(irc.encode_welcome())
+
+    def on_data(self, session, data: bytes) -> None:
+        dispatch = {
+            C2Dialect.MIRAI_BINARY: self._mirai_data,
+            C2Dialect.GAFGYT_TEXT: self._gafgyt_data,
+            C2Dialect.DADDYL33T_TEXT: self._daddy_data,
+            C2Dialect.IRC: self._irc_data,
+        }
+        dispatch[self.family.dialect](session, data)
+
+    # -- dialect handlers -------------------------------------------------------
+
+    def _push_due(self, session, encode) -> None:
+        for command in self._due_commands(session, session.now):
+            session.send(encode(command))
+
+    def _mirai_data(self, session, data: bytes) -> None:
+        buffer = session.state["buffer"] + data
+        if not session.state["registered"]:
+            if mirai.is_checkin(buffer):
+                session.state["registered"] = True
+                self.checked_in.add(session.peer)
+                session.send(mirai.HANDSHAKE)  # CNC acks with the same word
+                buffer = b""
+            session.state["buffer"] = buffer
+            if not session.state["registered"]:
+                return
+        if mirai.KEEPALIVE in data or not data:
+            session.send(mirai.KEEPALIVE)
+        self._push_due(session, mirai.encode_attack)
+
+    def _gafgyt_data(self, session, data: bytes) -> None:
+        text = data.upper()
+        if text.startswith(b"BUILD"):
+            session.state["registered"] = True
+            self.checked_in.add(session.peer)
+            session.send(b"!* SCANNER ON\n")
+        if b"PING" in text and session.state["registered"]:
+            session.send(gafgyt.PONG)
+        if session.state["registered"]:
+            self._push_due(session, gafgyt.encode_attack)
+
+    def _daddy_data(self, session, data: bytes) -> None:
+        if data.lower().startswith(b"login "):
+            session.state["registered"] = True
+            self.checked_in.add(session.peer)
+            session.send(b"auth ok\r\n")
+        if session.state["registered"]:
+            self._push_due(session, daddyl33t.encode_attack)
+
+    def _irc_data(self, session, data: bytes) -> None:
+        if irc.is_checkin(data) or data.upper().startswith(b"NICK"):
+            session.state["registered"] = True
+            self.checked_in.add(session.peer)
+            session.send(irc.encode_ping())
+        if session.state["registered"]:
+            self._push_due(session, irc.encode_attack)
+
+
+class DownloaderHttp:
+    """Plain HTTP loader-distribution service (port 80).
+
+    The paper finds downloader servers co-located with C2s and always on
+    port 80 (section 3.1); the world generator binds this service there.
+    """
+
+    def __init__(self, files: dict[str, bytes] | None = None):
+        self.files = files or {}
+        self.requests: list[str] = []
+
+    def on_connect(self, session) -> None:
+        session.state["buffer"] = b""
+
+    def on_data(self, session, data: bytes) -> None:
+        buffer = session.state["buffer"] + data
+        session.state["buffer"] = buffer
+        if b"\r\n\r\n" not in buffer and b"\n\n" not in buffer:
+            return
+        line = buffer.split(b"\r\n", 1)[0].decode("ascii", "replace")
+        parts = line.split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        self.requests.append(path)
+        body = self.files.get(path.lstrip("/"), b"#!/bin/sh\nwget loader stub\n")
+        session.send(
+            b"HTTP/1.0 200 OK\r\nContent-Length: "
+            + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+
+
+def observed_lifespan_days(first_seen: float, last_seen: float) -> float:
+    """The paper's lifespan metric: last minus first observation, in days."""
+    if last_seen < first_seen:
+        raise ValueError("last_seen before first_seen")
+    return (last_seen - first_seen) / SECONDS_PER_DAY

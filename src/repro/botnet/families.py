@@ -1,0 +1,144 @@
+"""Malware family registry (paper Table 6).
+
+Each family descriptor captures the behavioral facts the study relies on:
+the C2 protocol dialect, whether the binary's config table is obfuscated
+(Mirai-style), which DDoS attack methods the family's variants implement,
+and whether the family is P2P (Mozi, Hajime) — P2P samples are filtered
+out of the D-C2s dataset (section 2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class C2Dialect(enum.Enum):
+    """Application-layer C2 protocol style."""
+
+    MIRAI_BINARY = "mirai-binary"
+    GAFGYT_TEXT = "gafgyt-text"
+    DADDYL33T_TEXT = "daddyl33t-text"
+    IRC = "irc"
+    P2P = "p2p"
+
+
+@dataclass(frozen=True)
+class Family:
+    """Static description of one malware family."""
+
+    name: str
+    dialect: C2Dialect
+    description: str
+    obfuscated_config: bool = False
+    is_p2p: bool = False
+    #: DDoS methods this family's variants can launch (names as issued in
+    #: C2 commands; see section 5.1).
+    attack_methods: tuple[str, ...] = ()
+    #: named variants observed in the study (section 5: two per family for
+    #: the three attack-launching families)
+    variants: tuple[str, ...] = ("v1",)
+
+
+MIRAI = Family(
+    name="mirai",
+    dialect=C2Dialect.MIRAI_BINARY,
+    description=(
+        "Exploits IoT devices and turns them into bots; appeared 2016; "
+        "binary-based C2 protocol; behind the Dyn and OVH DDoS attacks."
+    ),
+    obfuscated_config=True,
+    attack_methods=("udp", "syn", "tls", "stomp", "vse"),
+    variants=("mirai.a", "mirai.b"),
+)
+
+GAFGYT = Family(
+    name="gafgyt",
+    dialect=C2Dialect.GAFGYT_TEXT,
+    description=(
+        "Infects Linux/BusyBox systems to launch DDoS attacks; appeared "
+        "2014; text-based C2 protocol."
+    ),
+    attack_methods=("udp", "std", "vse"),
+    variants=("gafgyt.a", "gafgyt.b"),
+)
+
+TSUNAMI = Family(
+    name="tsunami",
+    dialect=C2Dialect.IRC,
+    description=(
+        "Linux backdoor with download-and-execute capability; communicates "
+        "over the IRC protocol."
+    ),
+    attack_methods=("udp",),
+    variants=("tsunami.a",),
+)
+
+DADDYL33T = Family(
+    name="daddyl33t",
+    dialect=C2Dialect.DADDYL33T_TEXT,
+    description=(
+        "QBot-derived IoT bot; text protocol; distinctive ICMP "
+        "(BLACKNURSE) and gaming-server attacks."
+    ),
+    attack_methods=("udpraw", "hydrasyn", "tls", "blacknurse", "nfo"),
+    variants=("daddyl33t.a", "daddyl33t.b"),
+)
+
+MOZI = Family(
+    name="mozi",
+    dialect=C2Dialect.P2P,
+    description=(
+        "Evolution of Mirai/Gafgyt with Hajime-like DHT P2P communication; "
+        "among the most prevalent Linux malware."
+    ),
+    is_p2p=True,
+    variants=("mozi.a",),
+)
+
+HAJIME = Family(
+    name="hajime",
+    dialect=C2Dialect.P2P,
+    description=(
+        "P2P IoT malware that hardens the infected device while spreading."
+    ),
+    is_p2p=True,
+    variants=("hajime.a",),
+)
+
+VPNFILTER = Family(
+    name="vpnfilter",
+    dialect=C2Dialect.GAFGYT_TEXT,
+    description=(
+        "APT targeting routers and network devices; persists across "
+        "reboots; far more sophisticated than commodity IoT malware."
+    ),
+    variants=("vpnfilter.a",),
+)
+
+#: Registry of the seven families in Table 1 / Table 6.
+FAMILIES: dict[str, Family] = {
+    fam.name: fam
+    for fam in (MIRAI, GAFGYT, TSUNAMI, DADDYL33T, MOZI, HAJIME, VPNFILTER)
+}
+
+#: Families whose C2 servers issue DDoS attacks in the study (section 5).
+ATTACK_FAMILIES = ("mirai", "gafgyt", "daddyl33t")
+
+
+def get_family(name: str) -> Family:
+    """Look up a family by name (case-insensitive)."""
+    try:
+        return FAMILIES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown malware family: {name!r}") from None
+
+
+def c2_families() -> list[Family]:
+    """Families with centralized C2 (D-C2s excludes P2P samples)."""
+    return [fam for fam in FAMILIES.values() if not fam.is_p2p]
+
+
+def family_table() -> list[tuple[str, str]]:
+    """(name, description) rows, i.e. the content of paper Table 6."""
+    return [(fam.name, fam.description) for fam in FAMILIES.values()]

@@ -1,0 +1,5 @@
+"""C2 protocol dialects: Mirai (binary), Gafgyt/Daddyl33t (text), IRC, P2P."""
+
+from . import base, daddyl33t, gafgyt, irc, mirai, p2p
+
+__all__ = ["base", "daddyl33t", "gafgyt", "irc", "mirai", "p2p"]

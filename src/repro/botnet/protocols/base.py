@@ -1,0 +1,88 @@
+"""Shared vocabulary for C2 protocol dialects.
+
+Every dialect module exposes the same surface:
+
+* bot-side codec — what a bot sends to check in and keep alive;
+* server-side codec — how the C2 encodes attack commands;
+* a *profiler* — ``extract_commands(server_bytes)`` that recovers
+  :class:`AttackCommand` objects from a captured server→bot byte stream.
+
+The profilers are the paper's "profiles of three IoT malware application
+layer communication protocols" (section 2.5a) used to spot DDoS commands
+inside recorded C2 traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Canonical attack method names used across the study.  Per-family
+#: command verbs map onto these (section 5.1): e.g. Mirai attack id 0,
+#: Gafgyt ``UDP`` and Daddyl33t ``UDPRAW`` are all the UDP flood.
+METHOD_UDP = "udp"
+METHOD_UDPRAW = "udpraw"
+METHOD_SYN = "syn"
+METHOD_HYDRASYN = "hydrasyn"
+METHOD_TLS = "tls"
+METHOD_BLACKNURSE = "blacknurse"
+METHOD_STOMP = "stomp"
+METHOD_VSE = "vse"
+METHOD_STD = "std"
+METHOD_NFO = "nfo"
+
+ALL_METHODS = (
+    METHOD_UDP, METHOD_UDPRAW, METHOD_SYN, METHOD_HYDRASYN, METHOD_TLS,
+    METHOD_BLACKNURSE, METHOD_STOMP, METHOD_VSE, METHOD_STD, METHOD_NFO,
+)
+
+#: The 8 attack *types* of section 5.1 (UDP flood subsumes the per-family
+#: verbs ``udp``/``udpraw``; SYN subsumes ``syn``/``hydrasyn``).
+ATTACK_TYPES = (
+    "UDP Flood", "SYN Flood", "TLS", "BLACKNURSE", "STOMP", "VSE", "STD", "NFO"
+)
+
+
+def method_to_type(method: str) -> str:
+    """Collapse per-family verbs into the paper's 8 attack types."""
+    mapping = {
+        METHOD_UDP: "UDP Flood",
+        METHOD_UDPRAW: "UDP Flood",
+        METHOD_SYN: "SYN Flood",
+        METHOD_HYDRASYN: "SYN Flood",
+        METHOD_TLS: "TLS",
+        METHOD_BLACKNURSE: "BLACKNURSE",
+        METHOD_STOMP: "STOMP",
+        METHOD_VSE: "VSE",
+        METHOD_STD: "STD",
+        METHOD_NFO: "NFO",
+    }
+    try:
+        return mapping[method]
+    except KeyError:
+        raise ValueError(f"unknown attack method {method!r}") from None
+
+
+@dataclass(frozen=True)
+class AttackCommand:
+    """A decoded DDoS command: what to attack, how, and for how long."""
+
+    method: str
+    target_ip: int
+    target_port: int
+    duration: int  # seconds
+
+    def __post_init__(self) -> None:
+        if self.method not in ALL_METHODS:
+            raise ValueError(f"unknown attack method {self.method!r}")
+        if not 0 <= self.target_port <= 0xFFFF:
+            raise ValueError(f"bad target port {self.target_port}")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    @property
+    def attack_type(self) -> str:
+        return method_to_type(self.method)
+
+
+class ProtocolError(ValueError):
+    """Raised when a C2 message cannot be decoded."""

@@ -1,0 +1,136 @@
+"""Mozi/Hajime-style P2P (DHT) communication.
+
+P2P samples matter to the pipeline for one reason: they must be *filtered
+out* of the D-C2s dataset (section 2.3), because they have no central C2.
+Still, activating them in the sandbox produces recognizable DHT traffic —
+Mozi reuses the BitTorrent DHT with ``find_node``/``announce_peer``-style
+bencoded UDP messages against public bootstrap nodes.
+
+We implement a minimal bencode codec and the two message kinds Mozi emits
+on activation, which the C2-detection layer uses to classify a sample as
+P2P rather than client-server.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import ProtocolError
+
+MOZI_BOOTSTRAP_PORT = 6881
+
+
+def bencode(value) -> bytes:
+    """Encode ints, bytes, str, lists and dicts in bencoding."""
+    if isinstance(value, int):
+        return b"i" + str(value).encode() + b"e"
+    if isinstance(value, str):
+        value = value.encode("ascii")
+    if isinstance(value, bytes):
+        return str(len(value)).encode() + b":" + value
+    if isinstance(value, list):
+        return b"l" + b"".join(bencode(item) for item in value) + b"e"
+    if isinstance(value, dict):
+        out = b"d"
+        for key in sorted(value):
+            out += bencode(key) + bencode(value[key])
+        return out + b"e"
+    raise ProtocolError(f"cannot bencode {type(value).__name__}")
+
+
+def bdecode(data: bytes):
+    """Decode one bencoded value; raises on trailing garbage."""
+    value, offset = _bdecode_at(data, 0)
+    if offset != len(data):
+        raise ProtocolError("trailing bytes after bencoded value")
+    return value
+
+
+def _bdecode_at(data: bytes, offset: int):
+    if offset >= len(data):
+        raise ProtocolError("truncated bencoding")
+    lead = data[offset : offset + 1]
+    if lead == b"i":
+        end = data.find(b"e", offset)
+        if end < 0:
+            raise ProtocolError("unterminated integer")
+        text = data[offset + 1 : end]
+        if not (text.lstrip(b"-").isdigit() and text):
+            raise ProtocolError("bad integer")
+        return int(text), end + 1
+    if lead == b"l":
+        items = []
+        offset += 1
+        while offset < len(data) and data[offset : offset + 1] != b"e":
+            item, offset = _bdecode_at(data, offset)
+            items.append(item)
+        if offset >= len(data):
+            raise ProtocolError("unterminated list")
+        return items, offset + 1
+    if lead == b"d":
+        result = {}
+        offset += 1
+        while offset < len(data) and data[offset : offset + 1] != b"e":
+            key, offset = _bdecode_at(data, offset)
+            if not isinstance(key, bytes):
+                raise ProtocolError("dict key must be a string")
+            value, offset = _bdecode_at(data, offset)
+            result[key] = value
+        if offset >= len(data):
+            raise ProtocolError("unterminated dict")
+        return result, offset + 1
+    if lead.isdigit():
+        colon = data.find(b":", offset)
+        if colon < 0:
+            raise ProtocolError("unterminated string length")
+        length = int(data[offset:colon])
+        start = colon + 1
+        if start + length > len(data):
+            raise ProtocolError("truncated string")
+        return data[start : start + length], start + length
+    raise ProtocolError(f"bad bencoding lead byte {lead!r}")
+
+
+def node_id(rng: random.Random) -> bytes:
+    """A 20-byte DHT node id; Mozi's ids embed a recognizable prefix."""
+    return b"\x88\x88" + bytes(rng.randrange(256) for _ in range(18))
+
+
+def encode_find_node(sender_id: bytes, target_id: bytes, txid: bytes = b"mz") -> bytes:
+    """A DHT ``find_node`` query (what Mozi spams at bootstrap nodes)."""
+    if len(sender_id) != 20 or len(target_id) != 20:
+        raise ProtocolError("node ids must be 20 bytes")
+    return bencode({
+        b"t": txid, b"y": b"q", b"q": b"find_node",
+        b"a": {b"id": sender_id, b"target": target_id},
+    })
+
+
+def encode_announce(sender_id: bytes, port: int, txid: bytes = b"mz") -> bytes:
+    """A DHT ``announce_peer`` query."""
+    if len(sender_id) != 20:
+        raise ProtocolError("node id must be 20 bytes")
+    return bencode({
+        b"t": txid, b"y": b"q", b"q": b"announce_peer",
+        b"a": {b"id": sender_id, b"port": port},
+    })
+
+
+def is_dht_query(payload: bytes) -> bool:
+    """Classifier used by the C2 detector to tag P2P traffic."""
+    try:
+        message = bdecode(payload)
+    except ProtocolError:
+        return False
+    return (
+        isinstance(message, dict)
+        and message.get(b"y") == b"q"
+        and message.get(b"q") in (b"find_node", b"announce_peer", b"get_peers", b"ping")
+    )
+
+
+def query_kind(payload: bytes) -> str | None:
+    """The DHT verb of a query payload, or None if not a query."""
+    if not is_dht_query(payload):
+        return None
+    return bdecode(payload)[b"q"].decode("ascii")

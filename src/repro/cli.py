@@ -1,0 +1,194 @@
+"""Command-line interface: run studies, render reports, emit rules.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro study  --scale smoke --seed 7
+    python -m repro report --scale smoke --what table1 table3 fig4
+    python -m repro rules  --scale smoke --tech iptables
+    python -m repro pcap   --scale smoke --out /tmp/traces --limit 5
+
+Scales: ``smoke`` (~70 samples, seconds), ``mid`` (~430), ``full`` (the
+paper's 1447 samples, ~10 s).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import c2_analysis, ddos_analysis, exploit_analysis, ti_analysis
+from .core.firewall import compile_rules, coverage_report
+from .core.report import (
+    render_cdf,
+    render_heatmap,
+    render_histogram,
+    render_probe_matrix,
+    render_table,
+)
+from .core.study import run_study
+from .world import FULL_SCALE, SMOKE_SCALE, StudyScale, generate_world
+from .world.calibration import ACTIVE_WEEKS
+
+SCALES: dict[str, StudyScale] = {
+    "smoke": SMOKE_SCALE,
+    "mid": StudyScale(sample_fraction=0.3, probe_days=14),
+    "full": FULL_SCALE,
+}
+
+REPORT_CHOICES = (
+    "table1", "table2", "table3", "table4", "table7",
+    "fig1", "fig2", "fig4", "fig5", "fig9", "fig10", "fig11",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MalNet (IMC 2022) reproduction: run the study, "
+                    "render its tables/figures, and emit firewall rules.",
+    )
+    parser.add_argument("--seed", type=int, default=20220322,
+                        help="world seed (default: 20220322)")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke",
+                        help="study size (default: smoke)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("study", help="run the study and print Table 1 + stats")
+
+    report = sub.add_parser("report", help="render selected tables/figures")
+    report.add_argument("--what", nargs="+", choices=REPORT_CHOICES,
+                        default=["table1"], help="items to render")
+
+    rules = sub.add_parser("rules", help="compile firewall/IDS rules")
+    rules.add_argument("--tech", choices=("iptables", "dnsmasq", "snort",
+                                          "all"),
+                       default="all", help="rule technology to emit")
+
+    pcap = sub.add_parser("pcap", help="export per-binary pcap traces")
+    pcap.add_argument("--out", required=True, help="output directory")
+    pcap.add_argument("--limit", type=int, default=10,
+                      help="max binaries to export (default 10)")
+    return parser
+
+
+def _run(args) -> tuple:
+    world = generate_world(seed=args.seed, scale=SCALES[args.scale])
+    malnet, campaign, datasets = run_study(world)
+    return world, malnet, campaign, datasets
+
+
+def _cmd_study(args, out) -> int:
+    world, _malnet, campaign, datasets = _run(args)
+    summary = datasets.summary()
+    rows = [[name, count] for name, count in summary.items()]
+    print(render_table(["dataset", "size"], rows, title="Table 1"), file=out)
+    dead = c2_analysis.dead_on_arrival_rate(datasets)
+    print(f"\ndead-on-day-0 C2 rate: {dead:.0%}", file=out)
+    print(f"probe repeat-response rate: "
+          f"{campaign.repeat_response_rate():.0%}", file=out)
+    print(f"attack types observed: "
+          f"{sorted({r.attack_type for r in datasets.d_ddos})}", file=out)
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    world, _malnet, campaign, datasets = _run(args)
+    renderers = {
+        "table1": lambda: render_table(
+            ["dataset", "size"],
+            [[k, v] for k, v in datasets.summary().items()], "Table 1"),
+        "table2": lambda: render_table(
+            ["AS", "ASN", "country", "#C2s"],
+            [[r["as_name"], r["asn"], r["country"], r["c2_count"]]
+             for r in c2_analysis.table2_rows(datasets, world.asdb)],
+            "Table 2"),
+        "table3": lambda: render_table(
+            ["type", "same-day miss", "re-query miss", "n"],
+            [[k, f"{v.same_day:.1%}", f"{v.recheck:.1%}", v.count]
+             for k, v in ti_analysis.table3(datasets).items()], "Table 3"),
+        "table4": lambda: render_table(
+            ["vulnerability", "samples"],
+            [[r.vulnerability.key, r.sample_count]
+             for r in exploit_analysis.table4(datasets)], "Table 4"),
+        "table7": lambda: render_table(
+            ["vendor", "/1000"],
+            [[n, c] for n, c in ti_analysis.table7(datasets, world.vt)[:20]],
+            "Table 7"),
+        "fig1": lambda: render_heatmap(
+            c2_analysis.weekly_as_heatmap(datasets, world.asdb, ACTIVE_WEEKS),
+            "Figure 1"),
+        "fig2": lambda: render_cdf(
+            c2_analysis.lifetime_cdf(datasets, dns=False), "Figure 2", "days"),
+        "fig4": lambda: render_probe_matrix(
+            campaign.response_matrix(), "Figure 4"),
+        "fig5": lambda: render_cdf(
+            c2_analysis.samples_per_c2_cdf(datasets, dns=False),
+            "Figure 5", "#binaries"),
+        "fig9": lambda: render_histogram(
+            exploit_analysis.loader_frequencies(datasets), "Figure 9"),
+        "fig10": lambda: render_histogram(
+            {k: round(v * 100)
+             for k, v in ddos_analysis.protocol_distribution(datasets).items()},
+            "Figure 10 (%)"),
+        "fig11": lambda: render_histogram(
+            {f"{f}/{t}": n
+             for (f, t), n in ddos_analysis.type_by_family(datasets).items()},
+            "Figure 11"),
+    }
+    for what in args.what:
+        print(renderers[what](), file=out)
+        print(file=out)
+    return 0
+
+
+def _cmd_rules(args, out) -> int:
+    _world, _malnet, _campaign, datasets = _run(args)
+    bundle = compile_rules(datasets)
+    technology = None if args.tech == "all" else args.tech
+    print(bundle.render(technology), file=out)
+    report = coverage_report(datasets, bundle)
+    print(f"# c2 coverage: {report['c2_coverage']:.0%}; "
+          f"binary coverage: {report['binary_coverage']:.0%}", file=out)
+    return 0
+
+
+def _cmd_pcap(args, out) -> int:
+    import os
+
+    world, malnet, _campaign, datasets = _run(args)
+    os.makedirs(args.out, exist_ok=True)
+    exported = 0
+    # re-run the offline analysis for the first N profiled binaries and
+    # persist their traffic as pcap files
+    by_hash = {s.sample.sha256: s.sample for s in world.truth.all_samples}
+    for profile in datasets.profiles:
+        if exported >= args.limit:
+            break
+        sample = by_hash.get(profile.sha256)
+        if sample is None or not profile.activated:
+            continue
+        report = malnet.sandbox.analyze_offline(sample.data, scan_budget=60)
+        path = os.path.join(args.out, f"{profile.sha256[:16]}.pcap")
+        report.capture.save(path)
+        print(f"{path}  ({len(report.capture)} packets, "
+              f"family={profile.family_label})", file=out)
+        exported += 1
+    print(f"# exported {exported} traces", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    commands = {
+        "study": _cmd_study,
+        "report": _cmd_report,
+        "rules": _cmd_rules,
+        "pcap": _cmd_pcap,
+    }
+    return commands[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

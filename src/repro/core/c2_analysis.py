@@ -1,0 +1,183 @@
+"""C2 hosting and lifespan analyses (section 3.1-3.2, Q1-Q3).
+
+Feeds Table 2, Figures 1, 2, 3, 5, 6, 13 and the downloader co-location
+result from the D-C2s / D-Exploits datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.stats import CdfPoint, empirical_cdf, week_number
+from ..intel.asdb import AsDatabase, AsRecord
+from ..netsim.addresses import ip_to_int
+from ..netsim.internet import STUDY_EPOCH
+from .datasets import C2Record, Datasets
+
+
+def _record_address(record: C2Record, resolver=None) -> int | None:
+    """Best-effort address of a C2 record (IP literal only, for AS joins)."""
+    if record.is_dns:
+        return None
+    return ip_to_int(record.endpoint)
+
+
+@dataclass
+class AsActivity:
+    """Per-AS C2 presence."""
+
+    record: AsRecord
+    c2_count: int
+
+
+def c2_as_distribution(datasets: Datasets, asdb: AsDatabase) -> list[AsActivity]:
+    """C2 count per AS, descending (the backbone of Table 2 / Fig 13)."""
+    counts: dict[int, int] = {}
+    for record in datasets.d_c2s.values():
+        address = _record_address(record)
+        if address is None:
+            continue
+        owner = asdb.lookup(address)
+        if owner is None:
+            continue
+        counts[owner.asn] = counts.get(owner.asn, 0) + 1
+    activities = [
+        AsActivity(asdb.get(asn), count) for asn, count in counts.items()
+    ]
+    activities.sort(key=lambda a: (-a.c2_count, a.record.asn))
+    return activities
+
+
+def top10_share(datasets: Datasets, asdb: AsDatabase) -> float:
+    """Fraction of C2s hosted by the ten most active ASes (§3.1: 69.7%)."""
+    activities = c2_as_distribution(datasets, asdb)
+    total = sum(a.c2_count for a in activities)
+    if total == 0:
+        return 0.0
+    return sum(a.c2_count for a in activities[:10]) / total
+
+
+def table2_rows(datasets: Datasets, asdb: AsDatabase) -> list[dict]:
+    """Measured Table 2: the top-10 ASes with their attributes."""
+    rows = []
+    for activity in c2_as_distribution(datasets, asdb)[:10]:
+        record = activity.record
+        rows.append({
+            "as_name": record.name,
+            "asn": record.asn,
+            "country": record.country,
+            "hosting": "Yes" if record.is_hosting else "No",
+            "anti_ddos": {True: "Yes", False: "No", None: "N/A"}[record.anti_ddos],
+            "c2_count": activity.c2_count,
+        })
+    return rows
+
+
+def weekly_as_heatmap(
+    datasets: Datasets, asdb: AsDatabase, weeks: int
+) -> dict[int, list[int]]:
+    """Figure 1: per-(top-AS, week) C2 counts.
+
+    Returns ``{asn: [count per week]}`` for the ten most active ASes; a
+    C2 is attributed to the week of its first referral.
+    """
+    top = [a.record.asn for a in c2_as_distribution(datasets, asdb)[:10]]
+    matrix = {asn: [0] * weeks for asn in top}
+    for record in datasets.d_c2s.values():
+        address = _record_address(record)
+        if address is None:
+            continue
+        owner = asdb.lookup(address)
+        if owner is None or owner.asn not in matrix:
+            continue
+        week = week_number(record.first_seen, STUDY_EPOCH)
+        if week < weeks:
+            matrix[owner.asn][week] += 1
+    return matrix
+
+
+def lifetime_cdf(datasets: Datasets, dns: bool) -> list[CdfPoint]:
+    """Figure 2 (dns=False) / Figure 3 (dns=True): lifespan CDFs."""
+    spans = [
+        record.observed_lifespan_days
+        for record in datasets.d_c2s.values()
+        if record.is_dns == dns
+    ]
+    return empirical_cdf(spans)
+
+
+def samples_per_c2_cdf(datasets: Datasets, dns: bool) -> list[CdfPoint]:
+    """Figure 5 (IPs) / Figure 6 (domains): binaries-per-C2 CDFs."""
+    counts = [
+        record.distinct_samples
+        for record in datasets.d_c2s.values()
+        if record.is_dns == dns
+    ]
+    return empirical_cdf(counts)
+
+
+def as_count_cdf(datasets: Datasets, asdb: AsDatabase) -> list[CdfPoint]:
+    """Figure 13: CDF of C2 volume over the AS ranking."""
+    activities = c2_as_distribution(datasets, asdb)
+    cumulative = 0
+    total = sum(a.c2_count for a in activities) or 1
+    points: list[CdfPoint] = []
+    for rank, activity in enumerate(activities, start=1):
+        cumulative += activity.c2_count
+        points.append(CdfPoint(rank, cumulative / total))
+    return points
+
+
+def dead_on_arrival_rate(datasets: Datasets) -> float:
+    """Fraction of C2-referring samples whose C2 was dead on day 0 (~60%)."""
+    with_c2 = [p for p in datasets.profiles if p.has_c2]
+    if not with_c2:
+        return 0.0
+    dead = sum(1 for p in with_c2 if not p.c2_live_on_day0)
+    return dead / len(with_c2)
+
+
+def mean_lifespan_days(datasets: Datasets, attack_only: bool = False) -> float:
+    """Mean observed lifespan; attack-launching subset lives longer (§5)."""
+    spans = [
+        record.observed_lifespan_days
+        for record in datasets.d_c2s.values()
+        if record.issued_attack or not attack_only
+    ]
+    if attack_only:
+        spans = [
+            record.observed_lifespan_days
+            for record in datasets.d_c2s.values()
+            if record.issued_attack
+        ]
+    if not spans:
+        return 0.0
+    return sum(spans) / len(spans)
+
+
+@dataclass
+class DownloaderAnalysis:
+    """Section 3.1's downloader/C2 co-location result."""
+
+    distinct_downloaders: int
+    not_c2_count: int
+    ports: set[int]
+
+
+def downloader_colocation(datasets: Datasets) -> DownloaderAnalysis:
+    """Join D-Exploits downloader addresses against D-C2s."""
+    downloaders: set[str] = set()
+    ports: set[int] = set()
+    for record in datasets.d_exploits:
+        if not record.downloader:
+            continue
+        host, _, port_text = record.downloader.partition(":")
+        downloaders.add(host)
+        ports.add(int(port_text) if port_text else 80)
+    c2_hosts = {record.endpoint for record in datasets.d_c2s.values()}
+    not_c2 = {host for host in downloaders if host not in c2_hosts}
+    return DownloaderAnalysis(
+        distinct_downloaders=len(downloaders),
+        not_c2_count=len(not_c2),
+        ports=ports,
+    )

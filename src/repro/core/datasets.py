@@ -1,0 +1,162 @@
+"""The five study datasets (paper Table 1) assembled by the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..botnet.protocols.base import AttackCommand
+from .profiles import BinaryNetworkProfile
+
+
+@dataclass
+class C2Record:
+    """One C2 address in D-C2s with its cross-validation state."""
+
+    endpoint: str               # IP literal or domain
+    port: int
+    is_dns: bool
+    family_labels: set[str] = field(default_factory=set)
+    sample_hashes: set[str] = field(default_factory=set)
+    first_day: int = 10**9      # study day first referred by a sample
+    last_day: int = -1          # study day last referred by a sample
+    first_seen: float = float("inf")   # publication time of first referral
+    last_seen: float = float("-inf")   # publication time of last referral
+    live_observations: int = 0  # times we found it live
+    vt_malicious_day0: bool = False
+    vt_malicious_recheck: bool = False
+    protocol_verified: bool = False   # traffic matched a known C2 protocol
+    issued_attack: bool = False
+
+    @property
+    def observed_lifespan_days(self) -> int:
+        """Paper metric: interval between last and first observation.
+
+        Reported in whole days with a one-day floor ("80% of the binaries
+        have an observed lifespan of one day", section 3.2).
+        """
+        import math
+
+        if self.last_seen < self.first_seen:
+            return 0
+        return max(1, math.ceil((self.last_seen - self.first_seen) / 86400.0))
+
+    @property
+    def verified(self) -> bool:
+        """Section 2.3: valid if VT (either query) or protocol match."""
+        return (self.vt_malicious_day0 or self.vt_malicious_recheck
+                or self.protocol_verified)
+
+    @property
+    def distinct_samples(self) -> int:
+        return len(self.sample_hashes)
+
+
+@dataclass
+class ProbeObservation:
+    """One probe of one discovered C2 in the D-PC2 campaign."""
+
+    c2_address: int
+    c2_port: int
+    slot: int                 # probe index (6 per day)
+    when: float
+    engaged: bool
+    family_profile: str = ""
+
+
+@dataclass
+class ExploitRecord:
+    """One (sample, vulnerability) pair in D-Exploits."""
+
+    sha256: str
+    vuln_key: str
+    loader: str | None
+    downloader: str | None
+    day: int
+
+
+@dataclass
+class DdosRecord:
+    """One observed DDoS command in D-DDOS."""
+
+    c2_endpoint: str
+    family: str
+    command: AttackCommand
+    when: float
+    sample_hashes: set[str] = field(default_factory=set)
+    verified: bool = False
+    via_heuristic: bool = False
+
+    @property
+    def attack_type(self) -> str:
+        return self.command.attack_type
+
+    @property
+    def target_protocol(self) -> str:
+        """Target protocol class for Figure 10 (UDP/TCP/DNS/ICMP)."""
+        method = self.command.method
+        if method == "blacknurse":
+            return "ICMP"
+        if method in ("syn", "hydrasyn", "stomp"):
+            return "TCP"
+        if method == "tls" and self.family == "mirai":
+            return "TCP"
+        if self.command.target_port == 53:
+            return "DNS"
+        return "UDP"
+
+
+@dataclass
+class Datasets:
+    """All study datasets plus the per-binary profiles."""
+
+    profiles: list[BinaryNetworkProfile] = field(default_factory=list)
+    d_c2s: dict[str, C2Record] = field(default_factory=dict)
+    d_pc2: list[ProbeObservation] = field(default_factory=list)
+    d_exploits: list[ExploitRecord] = field(default_factory=list)
+    d_ddos: list[DdosRecord] = field(default_factory=list)
+
+    # -- D-Samples ---------------------------------------------------------
+
+    @property
+    def d_samples(self) -> list[BinaryNetworkProfile]:
+        return self.profiles
+
+    # -- assembly helpers used by the pipeline ------------------------------
+
+    def c2_record(self, endpoint: str, port: int, is_dns: bool) -> C2Record:
+        record = self.d_c2s.get(endpoint)
+        if record is None:
+            record = C2Record(endpoint=endpoint, port=port, is_dns=is_dns)
+            self.d_c2s[endpoint] = record
+        return record
+
+    def ddos_record(
+        self, c2_endpoint: str, family: str, command: AttackCommand, when: float
+    ) -> DdosRecord:
+        """Commands are deduplicated per (C2, command payload)."""
+        for record in self.d_ddos:
+            if record.c2_endpoint == c2_endpoint and record.command == command:
+                return record
+        record = DdosRecord(c2_endpoint=c2_endpoint, family=family,
+                            command=command, when=when)
+        self.d_ddos.append(record)
+        return record
+
+    # -- Table 1 --------------------------------------------------------------
+
+    def exploit_sample_count(self) -> int:
+        """Samples from which at least one exploit was extracted."""
+        return len({record.sha256 for record in self.d_exploits})
+
+    def probed_c2_count(self) -> int:
+        return len({(o.c2_address, o.c2_port) for o in self.d_pc2})
+
+    def summary(self) -> dict[str, int]:
+        """The dataset-size rows of Table 1."""
+        return {
+            "D-Samples": len(self.profiles),
+            "D-C2s": len(self.d_c2s),
+            "D-PC2": len(self.d_pc2),
+            "D-Exploits": self.exploit_sample_count(),
+            "D-DDOS": len(self.d_ddos),
+        }

@@ -1,0 +1,165 @@
+"""DDoS attack analyses (section 5, Q9-Q11).
+
+Feeds Figure 10 (target protocol distribution), Figure 11 (attack type ×
+family) and Figure 12 (victim AS type / country), plus the in-text
+claims: attack-launching C2 lifespans, issuing-country concentration, and
+double-attacked targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.stats import share_by
+from ..intel.asdb import AsDatabase
+from ..netsim.addresses import ip_to_int
+from .datasets import Datasets, DdosRecord
+
+
+def attacks(datasets: Datasets) -> list[DdosRecord]:
+    return list(datasets.d_ddos)
+
+
+def protocol_distribution(datasets: Datasets) -> dict[str, float]:
+    """Figure 10: share of attacks per target protocol class."""
+    return share_by(attacks(datasets), lambda record: record.target_protocol)
+
+
+def type_by_family(datasets: Datasets) -> dict[tuple[str, str], int]:
+    """Figure 11: counts per (family, attack type).
+
+    The family is taken from the C2 record's label set via the command's
+    decoding profile (the paper attributes by profile too).
+    """
+    counts: dict[tuple[str, str], int] = {}
+    for record in attacks(datasets):
+        key = (record.family, record.attack_type)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def attacks_per_family(datasets: Datasets) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for record in attacks(datasets):
+        counts[record.family] = counts.get(record.family, 0) + 1
+    return counts
+
+
+def port_share(datasets: Datasets, port: int) -> float:
+    """Share of attacks targeting one port (paper: 21% port 80, 7% 443)."""
+    records = attacks(datasets)
+    if not records:
+        return 0.0
+    return sum(1 for r in records if r.command.target_port == port) / len(records)
+
+
+@dataclass
+class VictimProfile:
+    """One attacked target with its AS attribution (Figure 12)."""
+
+    address: int
+    kind: str         # "isp" | "hosting" | "business" | "unknown"
+    country: str
+    specialization: str
+    attack_types: set[str]
+
+
+def victim_profiles(datasets: Datasets, asdb: AsDatabase) -> list[VictimProfile]:
+    """Join attack targets against the AS database."""
+    by_target: dict[int, VictimProfile] = {}
+    for record in attacks(datasets):
+        target = record.command.target_ip
+        profile = by_target.get(target)
+        if profile is None:
+            owner = asdb.lookup(target)
+            profile = VictimProfile(
+                address=target,
+                kind=owner.kind if owner else "unknown",
+                country=owner.country if owner else "??",
+                specialization=owner.specialization if owner else "",
+                attack_types=set(),
+            )
+            by_target[target] = profile
+        profile.attack_types.add(record.attack_type)
+    return list(by_target.values())
+
+
+def victim_kind_shares(datasets: Datasets, asdb: AsDatabase) -> dict[str, float]:
+    """Figure 12 aggregate: victim AS-type shares (45% ISP, 36% hosting)."""
+    profiles = victim_profiles(datasets, asdb)
+    return share_by(profiles, lambda p: p.kind)
+
+
+def gaming_share(datasets: Datasets, asdb: AsDatabase) -> float:
+    """Share of victim ASes specialized in gaming (paper: 18%)."""
+    profiles = victim_profiles(datasets, asdb)
+    if not profiles:
+        return 0.0
+    return sum(1 for p in profiles if p.specialization == "gaming") / len(profiles)
+
+
+def double_attack_share(datasets: Datasets, asdb: AsDatabase) -> float:
+    """Targets hit by two different attack types *in a single session*.
+
+    Section 5.2: "25% of the targeted IP addresses are attacked using two
+    different attack types in a single session."  A session is one bot's
+    two-hour observation window on one C2, approximated here as commands
+    from the same C2 within the same study day.
+    """
+    sessions: dict[tuple[str, int], dict[int, set[str]]] = {}
+    targets: set[int] = set()
+    doubled: set[int] = set()
+    for record in attacks(datasets):
+        day = int(record.when // 86400.0)
+        per_target = sessions.setdefault((record.c2_endpoint, day), {})
+        types = per_target.setdefault(record.command.target_ip, set())
+        types.add(record.attack_type)
+        targets.add(record.command.target_ip)
+        if len(types) >= 2:
+            doubled.add(record.command.target_ip)
+    if not targets:
+        return 0.0
+    return len(doubled) / len(targets)
+
+
+def issuing_c2_countries(datasets: Datasets, asdb: AsDatabase) -> dict[str, int]:
+    """Countries of the attack-issuing C2 servers (§5: US+NL+CZ = 80%)."""
+    counts: dict[str, int] = {}
+    for record in attacks(datasets):
+        endpoint = record.c2_endpoint
+        if endpoint.replace(".", "").isdigit():
+            owner = asdb.lookup(ip_to_int(endpoint))
+            country = owner.country if owner else "??"
+        else:
+            country = "??"
+        counts[country] = counts.get(country, 0) + 1
+    return counts
+
+
+def attack_country_concentration(
+    datasets: Datasets, asdb: AsDatabase, countries: tuple[str, ...] = ("US", "NL", "CZ")
+) -> float:
+    """Share of attacks issued from the given countries."""
+    records = attacks(datasets)
+    if not records:
+        return 0.0
+    count = 0
+    for record in records:
+        endpoint = record.c2_endpoint
+        if not endpoint.replace(".", "").isdigit():
+            continue
+        owner = asdb.lookup(ip_to_int(endpoint))
+        if owner is not None and owner.country in countries:
+            count += 1
+    return count / len(records)
+
+
+def unflagged_attack_c2s(datasets: Datasets) -> list[str]:
+    """Attack-issuing C2s not flagged by TI on launch day (paper saw 2)."""
+    endpoints = {record.c2_endpoint for record in attacks(datasets)}
+    unflagged = []
+    for endpoint in endpoints:
+        record = datasets.d_c2s.get(endpoint)
+        if record is not None and not record.vt_malicious_day0:
+            unflagged.append(endpoint)
+    return sorted(unflagged)

@@ -1,0 +1,90 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Benchmarks print these so a human can eyeball measured-vs-paper; nothing
+here computes — it only formats the analysis modules' outputs.
+"""
+
+from __future__ import annotations
+
+from ..analysis.stats import CdfPoint
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Simple fixed-width table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_cdf(points: list[CdfPoint], title: str,
+               value_label: str = "value", max_rows: int = 12) -> str:
+    """A CDF as a coarse text table (quantile snapshots)."""
+    if not points:
+        return f"{title}\n(empty)"
+    snapshots = []
+    step = max(1, len(points) // max_rows)
+    for index in range(0, len(points), step):
+        snapshots.append(points[index])
+    if snapshots[-1] is not points[-1]:
+        snapshots.append(points[-1])
+    rows = [[f"{p.value:g}", f"{p.fraction * 100:5.1f}%"] for p in snapshots]
+    return render_table([value_label, "P(X<=x)"], rows, title=title)
+
+
+def render_histogram(counts: dict, title: str, width: int = 40) -> str:
+    """Horizontal bar chart for categorical counts."""
+    if not counts:
+        return f"{title}\n(empty)"
+    peak = max(counts.values())
+    lines = [title]
+    for key, value in sorted(counts.items(), key=lambda kv: -kv[1]):
+        bar = "#" * max(1, int(width * value / peak)) if value else ""
+        lines.append(f"  {str(key):<28} {value:>5}  {bar}")
+    return "\n".join(lines)
+
+
+def render_heatmap(matrix: dict[int, list[int]], title: str) -> str:
+    """Figure 1-style weekly heatmap as a character grid."""
+    shades = " .:-=+*#%@"
+    lines = [title]
+    peak = max((max(row) for row in matrix.values() if row), default=1) or 1
+    for key, row in matrix.items():
+        cells = "".join(
+            shades[min(len(shades) - 1, int(v / peak * (len(shades) - 1)))]
+            for v in row
+        )
+        lines.append(f"  AS{key:<7} |{cells}|")
+    return "\n".join(lines)
+
+
+def render_probe_matrix(matrix: dict, title: str, per_day: int = 6) -> str:
+    """Figure 4-style probe-response strip per discovered C2."""
+    lines = [title]
+    for (address, port), series in sorted(matrix.items()):
+        from ..netsim.addresses import int_to_ip
+
+        strip = "".join("#" if hit else "." for hit in series)
+        lines.append(f"  {int_to_ip(address)}:{port:<6} |{strip}|")
+    lines.append("  (# = responded, . = silent; "
+                 f"{per_day} probes per day)")
+    return "\n".join(lines)
+
+
+def render_comparison(rows: list[tuple[str, str, str]], title: str) -> str:
+    """paper-vs-measured summary table."""
+    return render_table(
+        ["metric", "paper", "measured"],
+        [list(row) for row in rows],
+        title=title,
+    )

@@ -1,0 +1,55 @@
+"""One-call study runner: the daily pipeline plus the probing campaign."""
+
+from __future__ import annotations
+
+import random
+
+from ..sandbox.qemu import MipsEmulator
+from ..world.generator import World
+from .datasets import Datasets
+from .pipeline import MalNet, PipelineConfig
+from .probing import ProbingCampaign
+
+
+def select_probe_binaries(world: World) -> list[bytes]:
+    """Pick the two weaponized samples (one Gafgyt, one Mirai, §2.3b).
+
+    The study selected two of its collected samples; we pick the first
+    activating sample of each family from the same corpus.
+    """
+    checker = MipsEmulator(random.Random(0))
+    picks: list[bytes] = []
+    for family in ("gafgyt", "mirai"):
+        for planned in world.truth.all_samples:
+            if planned.sample.family != family:
+                continue
+            if not checker.activates(planned.sample.sha256):
+                continue
+            picks.append(planned.sample.data)
+            break
+    return picks
+
+
+def run_probing(world: World, malnet: MalNet) -> ProbingCampaign:
+    """Run the D-PC2 campaign and merge its observations."""
+    campaign = ProbingCampaign(
+        internet=world.internet,
+        sandbox=malnet.sandbox,
+        subnets=list(world.truth.probe_subnets),
+        sample_binaries=select_probe_binaries(world),
+        start=world.probe_start,
+        days=world.scale.probe_days,
+    )
+    campaign.run()
+    malnet.datasets.d_pc2.extend(campaign.observations)
+    return campaign
+
+
+def run_study(
+    world: World, config: PipelineConfig | None = None
+) -> tuple[MalNet, ProbingCampaign, Datasets]:
+    """Execute the complete measurement study on a generated world."""
+    malnet = MalNet(world, config)
+    malnet.run()
+    campaign = run_probing(world, malnet)
+    return malnet, campaign, malnet.datasets

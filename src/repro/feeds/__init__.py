@@ -1,0 +1,28 @@
+"""Malware feed substrate: VirusTotal, MalwareBazaar, AVClass2, YARA."""
+
+from .avclass import label_sample
+from .malwarebazaar import BazaarEntry, MalwareBazaarService, OSINT_SOURCES
+from .virustotal import (
+    DETECTION_THRESHOLD,
+    ENGINE_COUNT,
+    FeedEntry,
+    ScanReport,
+    VirusTotalService,
+)
+from .yara import RuleError, RuleSet, YaraRule, community_iot_rules
+
+__all__ = [
+    "BazaarEntry",
+    "DETECTION_THRESHOLD",
+    "ENGINE_COUNT",
+    "FeedEntry",
+    "MalwareBazaarService",
+    "OSINT_SOURCES",
+    "RuleError",
+    "RuleSet",
+    "ScanReport",
+    "VirusTotalService",
+    "YaraRule",
+    "community_iot_rules",
+    "label_sample",
+]

@@ -1,0 +1,33 @@
+"""External knowledge bases: AS database, TI vendors, vulnerability DBs."""
+
+from .asdb import AsDatabase, AsRecord, CLOUD_ASES, TOP_C2_ASES, VICTIM_ASES, top10_table
+from .vendors import (
+    ACTIVE_VENDORS,
+    IocIntel,
+    TABLE7_VENDORS,
+    TOTAL_VENDORS,
+    Vendor,
+    VendorDirectory,
+    build_vendor_directory,
+)
+from .vuldb import Remediation, VulnDatabase, VulnDbEntry, build_entries
+
+__all__ = [
+    "ACTIVE_VENDORS",
+    "AsDatabase",
+    "AsRecord",
+    "CLOUD_ASES",
+    "IocIntel",
+    "Remediation",
+    "TABLE7_VENDORS",
+    "TOP_C2_ASES",
+    "TOTAL_VENDORS",
+    "VICTIM_ASES",
+    "Vendor",
+    "VendorDirectory",
+    "VulnDatabase",
+    "VulnDbEntry",
+    "build_entries",
+    "build_vendor_directory",
+    "top10_table",
+]

@@ -1,0 +1,121 @@
+"""Vulnerability knowledge bases: NVD, EDB, OPENVAS and VulDB remediation.
+
+Backs the paper's Q6 ("no single database covers all exploited
+vulnerabilities — practitioners need all three sources") and the patch
+analysis of section 4 (VulDB: patches for only 3 of 10 CVEs, five
+firewall-only mitigations, two replace-the-device).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..botnet.exploits import VULNERABILITIES, Vulnerability
+
+
+class Remediation(enum.Enum):
+    """VulDB-style remediation status (section 4)."""
+
+    PATCH_AVAILABLE = "patch available"
+    FIREWALL_ONLY = "firewalling"
+    REPLACE_DEVICE = "replace device"
+    UNKNOWN = "unknown"
+
+
+#: Section 4's patch analysis covers the 10 rows with assigned CVEs:
+#: patches for 3 (single vendor), firewall-only for 5, replace-device for 2.
+_REMEDIATION: dict[str, Remediation] = {
+    # D-Link shipped fixes for its advisories; GPON pair fixed by one vendor
+    "CVE-2018-10561": Remediation.PATCH_AVAILABLE,
+    "CVE-2018-10562": Remediation.PATCH_AVAILABLE,
+    "CVE-2021-45382": Remediation.PATCH_AVAILABLE,
+    "CVE-2015-2051": Remediation.FIREWALL_ONLY,
+    "CVE-2017-18368": Remediation.FIREWALL_ONLY,
+    "CVE-2017-17215": Remediation.FIREWALL_ONLY,
+    "CVE-2018-20062": Remediation.FIREWALL_ONLY,
+    "CVE-2016-5680": Remediation.FIREWALL_ONLY,
+    # end-of-life devices: only replacement helps
+    "LINKSYS-E-RCE": Remediation.REPLACE_DEVICE,
+    "EIR-D1000-RCI": Remediation.REPLACE_DEVICE,
+}
+
+
+@dataclass(frozen=True)
+class VulnDbEntry:
+    """Cross-database view of one vulnerability."""
+
+    vulnerability: Vulnerability
+    in_nvd: bool
+    in_edb: bool
+    in_openvas: bool
+    remediation: Remediation
+
+    @property
+    def sources(self) -> set[str]:
+        found = set()
+        if self.in_nvd:
+            found.add("NVD")
+        if self.in_edb:
+            found.add("EDB")
+        if self.in_openvas:
+            found.add("OPENVAS")
+        return found
+
+
+def build_entries() -> list[VulnDbEntry]:
+    """Assemble database coverage for every Table 4 vulnerability.
+
+    NVD lists exactly the CVE-assigned rows; EDB/OPENVAS list the rows
+    whose public exploit lives there.  By construction no single source
+    covers everything — the paper's point.
+    """
+    entries = []
+    for vuln in VULNERABILITIES:
+        entries.append(
+            VulnDbEntry(
+                vulnerability=vuln,
+                in_nvd=vuln.cve is not None,
+                in_edb=vuln.source == "EDB",
+                in_openvas=vuln.source == "OPENVAS",
+                remediation=_REMEDIATION.get(vuln.key, Remediation.UNKNOWN),
+            )
+        )
+    return entries
+
+
+class VulnDatabase:
+    """Queryable view over the cross-database entries."""
+
+    def __init__(self) -> None:
+        self.entries = {entry.vulnerability.key: entry for entry in build_entries()}
+
+    def get(self, key: str) -> VulnDbEntry | None:
+        return self.entries.get(key)
+
+    def covered_by(self, source: str) -> set[str]:
+        """Vulnerability keys listed by one database."""
+        return {
+            key for key, entry in self.entries.items() if source in entry.sources
+        }
+
+    def coverage_report(self) -> dict[str, int]:
+        """How many of the exploited vulnerabilities each source covers."""
+        return {
+            source: len(self.covered_by(source))
+            for source in ("NVD", "EDB", "OPENVAS")
+        }
+
+    def uncovered_by_single_source(self) -> bool:
+        """True iff no single database covers the full exploited set (Q6)."""
+        total = len(self.entries)
+        return all(count < total for count in self.coverage_report().values())
+
+    def remediation_summary(self) -> dict[Remediation, int]:
+        """Counts over the CVE-assigned rows (section 4's patch analysis)."""
+        summary: dict[Remediation, int] = {}
+        for entry in self.entries.values():
+            if entry.remediation == Remediation.UNKNOWN:
+                continue
+            summary[entry.remediation] = summary.get(entry.remediation, 0) + 1
+        return summary

@@ -1,0 +1,79 @@
+"""Network simulation substrate: packets, pcap, TCP, DNS, flows, Internet."""
+
+from .addresses import (
+    AddressAllocator,
+    AddressError,
+    Subnet,
+    checksum16,
+    ephemeral_port,
+    int_to_ip,
+    ip_to_int,
+    is_reserved,
+)
+from .capture import Capture, CaptureError, PcapReader, PcapWriter
+from .dns import DnsQuery, DnsResponse, Resolver
+from .flows import Flow, FlowKey, FlowTable
+from .internet import (
+    ClientSession,
+    Host,
+    Listener,
+    SECONDS_PER_DAY,
+    STUDY_EPOCH,
+    ServerSession,
+    SimClock,
+    VirtualInternet,
+)
+from .packet import (
+    Packet,
+    PacketError,
+    Protocol,
+    TcpFlags,
+    decode_packet,
+    encode_packet,
+    icmp_packet,
+    tcp_packet,
+    udp_packet,
+)
+from .tcp import TcpConnection, TcpError, TcpState, handshake_pair
+
+__all__ = [
+    "AddressAllocator",
+    "AddressError",
+    "Capture",
+    "CaptureError",
+    "ClientSession",
+    "DnsQuery",
+    "DnsResponse",
+    "Flow",
+    "FlowKey",
+    "FlowTable",
+    "Host",
+    "Listener",
+    "Packet",
+    "PacketError",
+    "PcapReader",
+    "PcapWriter",
+    "Protocol",
+    "Resolver",
+    "SECONDS_PER_DAY",
+    "STUDY_EPOCH",
+    "ServerSession",
+    "SimClock",
+    "Subnet",
+    "TcpConnection",
+    "TcpError",
+    "TcpFlags",
+    "TcpState",
+    "VirtualInternet",
+    "checksum16",
+    "decode_packet",
+    "encode_packet",
+    "ephemeral_port",
+    "handshake_pair",
+    "icmp_packet",
+    "int_to_ip",
+    "ip_to_int",
+    "is_reserved",
+    "tcp_packet",
+    "udp_packet",
+]

@@ -1,0 +1,201 @@
+"""IPv4 address and port utilities for the virtual Internet.
+
+Addresses are represented as plain ``int`` (host byte order) internally for
+speed, with helpers to convert to and from dotted-quad strings.  Subnets are
+``(network_int, prefix_len)`` pairs wrapped in :class:`Subnet`.
+
+The module is self-contained (no stdlib ``ipaddress``) because the rest of
+the packet layer works on raw integers and we want allocation-free hot
+paths when generating flood traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+MAX_IPV4 = 0xFFFFFFFF
+
+#: Well-known port numbers used throughout the simulation.
+PORT_DNS = 53
+PORT_HTTP = 80
+PORT_HTTPS = 443
+PORT_TELNET = 23
+PORT_TELNET_ALT = 2323
+
+# Private / reserved ranges that must never be allocated to public hosts.
+_RESERVED_BLOCKS = (
+    (0x00000000, 8),    # 0.0.0.0/8
+    (0x0A000000, 8),    # 10.0.0.0/8
+    (0x64400000, 10),   # 100.64.0.0/10 CGNAT
+    (0x7F000000, 8),    # 127.0.0.0/8
+    (0xA9FE0000, 16),   # 169.254.0.0/16
+    (0xAC100000, 12),   # 172.16.0.0/12
+    (0xC0A80000, 16),   # 192.168.0.0/16
+    (0xE0000000, 4),    # 224.0.0.0/4 multicast
+    (0xF0000000, 4),    # 240.0.0.0/4 reserved
+)
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses or exhausted allocations."""
+
+
+def ip_to_int(text: str) -> int:
+    """Parse a dotted-quad IPv4 string into an integer.
+
+    >>> ip_to_int("1.2.3.4")
+    16909060
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"non-numeric octet in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Render an integer as a dotted-quad IPv4 string.
+
+    >>> int_to_ip(16909060)
+    '1.2.3.4'
+    """
+    if not 0 <= value <= MAX_IPV4:
+        raise AddressError(f"ipv4 int out of range: {value}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def is_reserved(value: int) -> bool:
+    """True if the address falls in a private/reserved block."""
+    for network, prefix in _RESERVED_BLOCKS:
+        mask = prefix_mask(prefix)
+        if value & mask == network:
+            return True
+    return False
+
+
+def prefix_mask(prefix: int) -> int:
+    """Netmask integer for a prefix length (``/24`` -> 0xFFFFFF00)."""
+    if not 0 <= prefix <= 32:
+        raise AddressError(f"bad prefix length: {prefix}")
+    if prefix == 0:
+        return 0
+    return (MAX_IPV4 << (32 - prefix)) & MAX_IPV4
+
+
+@dataclass(frozen=True)
+class Subnet:
+    """An IPv4 subnet given by its network address and prefix length."""
+
+    network: int
+    prefix: int
+
+    def __post_init__(self) -> None:
+        mask = prefix_mask(self.prefix)
+        if self.network & ~mask & MAX_IPV4:
+            raise AddressError(
+                f"host bits set in network {int_to_ip(self.network)}/{self.prefix}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Subnet":
+        """Parse CIDR notation, e.g. ``"192.0.2.0/24"``."""
+        if "/" not in text:
+            raise AddressError(f"missing prefix in {text!r}")
+        addr, _, prefix_text = text.partition("/")
+        if not prefix_text.isdigit():
+            raise AddressError(f"bad prefix in {text!r}")
+        return cls(ip_to_int(addr), int(prefix_text))
+
+    @property
+    def mask(self) -> int:
+        return prefix_mask(self.prefix)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses in the subnet (including network/broadcast)."""
+        return 1 << (32 - self.prefix)
+
+    @property
+    def broadcast(self) -> int:
+        return self.network | (~self.mask & MAX_IPV4)
+
+    def __contains__(self, address: int) -> bool:
+        return address & self.mask == self.network
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.prefix}"
+
+    def hosts(self) -> Iterator[int]:
+        """Iterate usable host addresses (network/broadcast excluded for
+        prefixes shorter than /31)."""
+        if self.prefix >= 31:
+            yield from range(self.network, self.broadcast + 1)
+            return
+        yield from range(self.network + 1, self.broadcast)
+
+    def random_host(self, rng: random.Random) -> int:
+        """Pick a uniformly random usable host address."""
+        if self.prefix >= 31:
+            return self.network + rng.randrange(self.size)
+        return self.network + 1 + rng.randrange(self.size - 2)
+
+
+class AddressAllocator:
+    """Hands out unique public IPv4 addresses for simulated hosts.
+
+    The allocator never returns reserved/private addresses and never
+    repeats an address.  Allocation can be constrained to a subnet so that
+    the world generator can place C2 servers inside specific AS prefixes.
+    """
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._used: set[int] = set()
+
+    def reserve(self, address: int) -> None:
+        """Mark an externally chosen address as used."""
+        self._used.add(address)
+
+    def allocate(self, subnet: Subnet | None = None, max_tries: int = 4096) -> int:
+        """Allocate a fresh public address, optionally within ``subnet``."""
+        for _ in range(max_tries):
+            if subnet is None:
+                candidate = self._rng.randrange(0x01000000, 0xDF000000)
+            else:
+                candidate = subnet.random_host(self._rng)
+            if candidate in self._used or is_reserved(candidate):
+                continue
+            self._used.add(candidate)
+            return candidate
+        raise AddressError("address allocation exhausted")
+
+    def __len__(self) -> int:
+        return len(self._used)
+
+
+def ephemeral_port(rng: random.Random) -> int:
+    """A random ephemeral source port (49152-65535)."""
+    return rng.randrange(49152, 65536)
+
+
+def checksum16(data: bytes) -> int:
+    """RFC 1071 ones-complement 16-bit checksum used by IPv4/ICMP/TCP/UDP."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF

@@ -1,0 +1,205 @@
+"""pcap (v2.4) capture files and in-memory traffic captures.
+
+The sandbox records malware traffic exactly like the paper's setup: as pcap
+files.  :class:`PcapWriter`/:class:`PcapReader` implement the classic
+libpcap file format (magic ``0xa1b2c3d4``, microsecond resolution) with
+``LINKTYPE_RAW`` (101), i.e. each record is a bare IPv4 datagram as encoded
+by :mod:`repro.netsim.packet`.
+
+:class:`Capture` is the in-memory view used by the analysis code; it can be
+persisted to a pcap byte string and reloaded losslessly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import BinaryIO, Iterable, Iterator
+
+from .packet import Packet, Protocol, decode_packet, encode_packet
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION_MAJOR = 2
+PCAP_VERSION_MINOR = 4
+LINKTYPE_RAW = 101
+DEFAULT_SNAPLEN = 65535
+
+_GLOBAL_HEADER = struct.Struct("!IHHiIII")
+_RECORD_HEADER = struct.Struct("!IIII")
+
+
+class CaptureError(ValueError):
+    """Raised for malformed pcap data."""
+
+
+class PcapWriter:
+    """Incremental pcap writer over any binary file object."""
+
+    def __init__(self, stream: BinaryIO, snaplen: int = DEFAULT_SNAPLEN):
+        self._stream = stream
+        self._snaplen = snaplen
+        stream.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC,
+                PCAP_VERSION_MAJOR,
+                PCAP_VERSION_MINOR,
+                0,              # thiszone
+                0,              # sigfigs
+                snaplen,
+                LINKTYPE_RAW,
+            )
+        )
+        self.count = 0
+
+    def write(self, pkt: Packet) -> None:
+        """Append one packet; its ``timestamp`` becomes the record time."""
+        data = encode_packet(pkt)
+        captured = data[: self._snaplen]
+        seconds = int(pkt.timestamp)
+        micros = int(round((pkt.timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:
+            seconds += 1
+            micros -= 1_000_000
+        self._stream.write(
+            _RECORD_HEADER.pack(seconds, micros, len(captured), len(data))
+        )
+        self._stream.write(captured)
+        self.count += 1
+
+    def write_all(self, packets: Iterable[Packet]) -> None:
+        for pkt in packets:
+            self.write(pkt)
+
+
+class PcapReader:
+    """Iterates :class:`Packet` records out of a pcap stream."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        header = stream.read(_GLOBAL_HEADER.size)
+        if len(header) != _GLOBAL_HEADER.size:
+            raise CaptureError("truncated pcap global header")
+        magic, major, minor, _tz, _sig, self.snaplen, linktype = _GLOBAL_HEADER.unpack(header)
+        if magic != PCAP_MAGIC:
+            raise CaptureError(f"bad pcap magic: {magic:#x}")
+        if (major, minor) != (PCAP_VERSION_MAJOR, PCAP_VERSION_MINOR):
+            raise CaptureError(f"unsupported pcap version {major}.{minor}")
+        if linktype != LINKTYPE_RAW:
+            raise CaptureError(f"unsupported linktype {linktype}")
+
+    def __iter__(self) -> Iterator[Packet]:
+        while True:
+            header = self._stream.read(_RECORD_HEADER.size)
+            if not header:
+                return
+            if len(header) != _RECORD_HEADER.size:
+                raise CaptureError("truncated pcap record header")
+            seconds, micros, incl_len, orig_len = _RECORD_HEADER.unpack(header)
+            data = self._stream.read(incl_len)
+            if len(data) != incl_len:
+                raise CaptureError("truncated pcap record body")
+            if incl_len != orig_len:
+                raise CaptureError("snapped records are not supported")
+            yield decode_packet(data, timestamp=seconds + micros / 1_000_000)
+
+
+@dataclass
+class Capture:
+    """An ordered, timestamped packet capture plus query helpers."""
+
+    packets: list[Packet] = field(default_factory=list)
+    label: str = ""
+
+    def add(self, pkt: Packet) -> None:
+        self.packets.append(pkt)
+
+    def extend(self, packets: Iterable[Packet]) -> None:
+        self.packets.extend(packets)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self.packets)
+
+    def __getitem__(self, index: int) -> Packet:
+        return self.packets[index]
+
+    # -- queries -----------------------------------------------------------
+
+    def between(self, start: float, end: float) -> "Capture":
+        """Packets with ``start <= timestamp < end``."""
+        return Capture(
+            [p for p in self.packets if start <= p.timestamp < end], self.label
+        )
+
+    def involving(self, address: int) -> "Capture":
+        """Packets where ``address`` is source or destination."""
+        return Capture(
+            [p for p in self.packets if address in (p.src, p.dst)], self.label
+        )
+
+    def to_host(self, address: int) -> "Capture":
+        return Capture([p for p in self.packets if p.dst == address], self.label)
+
+    def from_host(self, address: int) -> "Capture":
+        return Capture([p for p in self.packets if p.src == address], self.label)
+
+    def by_protocol(self, protocol: Protocol) -> "Capture":
+        return Capture(
+            [p for p in self.packets if p.protocol == protocol], self.label
+        )
+
+    def destinations(self) -> set[int]:
+        return {p.dst for p in self.packets}
+
+    def destination_ports(self, protocol: Protocol | None = None) -> dict[int, int]:
+        """Map of destination port -> packet count."""
+        counts: dict[int, int] = {}
+        for p in self.packets:
+            if protocol is not None and p.protocol != protocol:
+                continue
+            counts[p.dport] = counts.get(p.dport, 0) + 1
+        return counts
+
+    def duration(self) -> float:
+        if not self.packets:
+            return 0.0
+        times = [p.timestamp for p in self.packets]
+        return max(times) - min(times)
+
+    def total_bytes(self) -> int:
+        return sum(p.size for p in self.packets)
+
+    def packets_per_second(self) -> float:
+        """Mean packet rate across the capture (0 for <2 packets)."""
+        span = self.duration()
+        if span <= 0:
+            return 0.0
+        return len(self.packets) / span
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_pcap_bytes(self) -> bytes:
+        import io
+
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        writer.write_all(self.packets)
+        return buf.getvalue()
+
+    def save(self, path: str) -> None:
+        with open(path, "wb") as fh:
+            fh.write(self.to_pcap_bytes())
+
+    @classmethod
+    def from_pcap_bytes(cls, data: bytes, label: str = "") -> "Capture":
+        import io
+
+        reader = PcapReader(io.BytesIO(data))
+        return cls(list(reader), label)
+
+    @classmethod
+    def load(cls, path: str) -> "Capture":
+        with open(path, "rb") as fh:
+            return cls.from_pcap_bytes(fh.read(), label=path)

@@ -1,0 +1,168 @@
+"""Flow aggregation over captures.
+
+MalNet's traffic analysis (C2 detection, DDoS rate heuristics, port
+popularity for the handshaker) works on per-flow summaries rather than raw
+packets.  A *flow* here is the classic 5-tuple with direction normalized so
+that both directions of a TCP/UDP conversation fall into one record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .capture import Capture
+from .packet import Packet, Protocol, TcpFlags
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """Direction-normalized 5-tuple; ``initiator`` kept separately."""
+
+    low_host: int
+    low_port: int
+    high_host: int
+    high_port: int
+    protocol: Protocol
+
+    @classmethod
+    def for_packet(cls, pkt: Packet) -> "FlowKey":
+        a = (pkt.src, pkt.sport)
+        b = (pkt.dst, pkt.dport)
+        if a <= b:
+            return cls(a[0], a[1], b[0], b[1], pkt.protocol)
+        return cls(b[0], b[1], a[0], a[1], pkt.protocol)
+
+
+@dataclass
+class Flow:
+    """Aggregated statistics for one conversation."""
+
+    key: FlowKey
+    initiator: int
+    responder: int
+    initiator_port: int
+    responder_port: int
+    first_time: float
+    last_time: float
+    packets_fwd: int = 0
+    packets_rev: int = 0
+    bytes_fwd: int = 0
+    bytes_rev: int = 0
+    payload_fwd: bytearray = field(default_factory=bytearray)
+    payload_rev: bytearray = field(default_factory=bytearray)
+    syn_seen: bool = False
+    synack_seen: bool = False
+    rst_seen: bool = False
+    fin_seen: bool = False
+
+    @property
+    def protocol(self) -> Protocol:
+        return self.key.protocol
+
+    @property
+    def bidirectional(self) -> bool:
+        return self.packets_fwd > 0 and self.packets_rev > 0
+
+    @property
+    def handshake_completed(self) -> bool:
+        """True if a full TCP three-way handshake was observed."""
+        return self.syn_seen and self.synack_seen
+
+    @property
+    def duration(self) -> float:
+        return self.last_time - self.first_time
+
+    @property
+    def total_packets(self) -> int:
+        return self.packets_fwd + self.packets_rev
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_fwd + self.bytes_rev
+
+    def packet_rate(self) -> float:
+        """Forward-direction packets per second (0 if instantaneous)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.packets_fwd / self.duration
+
+    def observe(self, pkt: Packet) -> None:
+        forward = pkt.src == self.initiator and pkt.sport == self.initiator_port
+        self.last_time = max(self.last_time, pkt.timestamp)
+        self.first_time = min(self.first_time, pkt.timestamp)
+        if forward:
+            self.packets_fwd += 1
+            self.bytes_fwd += pkt.size
+            if len(self.payload_fwd) < 1 << 20:
+                self.payload_fwd.extend(pkt.payload)
+        else:
+            self.packets_rev += 1
+            self.bytes_rev += pkt.size
+            if len(self.payload_rev) < 1 << 20:
+                self.payload_rev.extend(pkt.payload)
+        if pkt.protocol == Protocol.TCP:
+            if pkt.is_syn:
+                self.syn_seen = True
+            if pkt.is_synack:
+                self.synack_seen = True
+            if pkt.flags & TcpFlags.RST:
+                self.rst_seen = True
+            if pkt.flags & TcpFlags.FIN:
+                self.fin_seen = True
+
+
+class FlowTable:
+    """Builds flows from packets (streaming or from a capture)."""
+
+    def __init__(self) -> None:
+        self._flows: dict[FlowKey, Flow] = {}
+
+    def observe(self, pkt: Packet) -> Flow:
+        key = FlowKey.for_packet(pkt)
+        flow = self._flows.get(key)
+        if flow is None:
+            flow = Flow(
+                key=key,
+                initiator=pkt.src,
+                responder=pkt.dst,
+                initiator_port=pkt.sport,
+                responder_port=pkt.dport,
+                first_time=pkt.timestamp,
+                last_time=pkt.timestamp,
+            )
+            self._flows[key] = flow
+        flow.observe(pkt)
+        return flow
+
+    @classmethod
+    def from_capture(cls, capture: Capture) -> "FlowTable":
+        table = cls()
+        for pkt in capture:
+            table.observe(pkt)
+        return table
+
+    def flows(self) -> list[Flow]:
+        return list(self._flows.values())
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    # -- study-specific queries --------------------------------------------
+
+    def flows_from(self, initiator: int) -> list[Flow]:
+        return [f for f in self._flows.values() if f.initiator == initiator]
+
+    def contacted_hosts(self, initiator: int) -> set[int]:
+        return {f.responder for f in self.flows_from(initiator)}
+
+    def port_fanout(self, initiator: int) -> dict[int, set[int]]:
+        """Destination port -> set of distinct destination IPs contacted.
+
+        This is the statistic MalNet's handshaker uses to pick scanning
+        ports: the paper redirects traffic for ports contacted on more than
+        20 distinct IPs (section 2.4).
+        """
+        fanout: dict[int, set[int]] = {}
+        for flow in self.flows_from(initiator):
+            fanout.setdefault(flow.responder_port, set()).add(flow.responder)
+        return fanout

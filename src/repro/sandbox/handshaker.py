@@ -1,0 +1,153 @@
+"""The handshaker: exploit extraction by impersonating victims (§2.4).
+
+The trick: watch which destination ports the malware scans; once a port
+has been tried against more than ``fanout_threshold`` distinct IPs (the
+paper uses 20), open a local fake victim on that port and redirect the
+malware's next connections there.  The malware completes the TCP
+handshake with the fake target and sends its first data packets — which
+contain the exploit.
+
+:class:`Handshaker` implements the bot-facing
+:class:`~repro.botnet.bot.NetworkAdapter`: connection attempts feed the
+fanout counters; redirected connections return a recording session.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..netsim.addresses import ephemeral_port
+from ..netsim.capture import Capture
+from ..netsim.packet import Packet, TcpFlags, tcp_packet
+
+#: ports contacted on more than this many distinct IPs get a fake victim
+DEFAULT_FANOUT_THRESHOLD = 20
+
+
+@dataclass
+class ExploitCapture:
+    """One payload collected from a completed fake-victim handshake."""
+
+    port: int
+    target: int          # the address the malware believed it attacked
+    payload: bytes
+
+
+class _VictimSession:
+    """Fake-victim endpoint handed back to the malware."""
+
+    def __init__(self, handshaker: "Handshaker", target: int, port: int):
+        self._handshaker = handshaker
+        self._target = target
+        self._port = port
+        self._received = b""
+        self.closed = False
+
+    def send(self, data: bytes) -> None:
+        if self.closed:
+            return
+        self._received += data
+        self._handshaker._collect(self._target, self._port, self._received)
+
+    def recv(self) -> bytes:
+        # a real service banner for the port keeps some payloads coming
+        if self._port in (23, 2323) and not self.closed:
+            return b"login: "
+        return b""
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class Handshaker:
+    """Scan-port discovery plus fake-victim redirection."""
+
+    def __init__(
+        self,
+        bot_ip: int,
+        rng: random.Random,
+        fanout_threshold: int = DEFAULT_FANOUT_THRESHOLD,
+        trace: Capture | None = None,
+        base_time: float = 0.0,
+    ):
+        if fanout_threshold < 1:
+            raise ValueError("fanout_threshold must be positive")
+        self.bot_ip = bot_ip
+        self.rng = rng
+        self.fanout_threshold = fanout_threshold
+        self.trace = trace if trace is not None else Capture(label="handshaker")
+        self.base_time = base_time
+        self._ticks = 0
+        #: port -> distinct target IPs observed
+        self.fanout: dict[int, set[int]] = {}
+        #: ports currently redirected to fake victims
+        self.redirected_ports: set[int] = set()
+        self.captures: list[ExploitCapture] = []
+        self._latest: dict[tuple[int, int], ExploitCapture] = {}
+        self.datagrams: list[Packet] = []
+
+    # -- NetworkAdapter interface ----------------------------------------------
+
+    def tcp_connect(self, dst: int, port: int, trace: Capture | None = None):
+        self._record_syn(dst, port)
+        targets = self.fanout.setdefault(port, set())
+        targets.add(dst)
+        if port not in self.redirected_ports:
+            if len(targets) > self.fanout_threshold:
+                self.redirected_ports.add(port)
+            else:
+                return None  # not redirected yet: connection goes nowhere
+        return _VictimSession(self, dst, port)
+
+    def send_datagram(self, pkt: Packet, trace: Capture | None = None) -> None:
+        self.datagrams.append(pkt)
+        self._stamp(pkt)
+        self.trace.add(pkt)
+
+    def dns_lookup(self, name: str, trace: Capture | None = None) -> int | None:
+        # exploit extraction runs offline; names resolve into fake space
+        return 0xC6120001 + (hash(name) & 0xFF)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _stamp(self, pkt: Packet) -> None:
+        self._ticks += 1
+        pkt.timestamp = self.base_time + self._ticks * 0.005
+
+    def _record_syn(self, dst: int, port: int) -> None:
+        syn = tcp_packet(self.bot_ip, dst, ephemeral_port(self.rng), port,
+                         TcpFlags.SYN)
+        self._stamp(syn)
+        self.trace.add(syn)
+
+    def _collect(self, target: int, port: int, payload: bytes) -> None:
+        data = tcp_packet(self.bot_ip, target, ephemeral_port(self.rng), port,
+                          TcpFlags.PSH | TcpFlags.ACK, payload)
+        self._stamp(data)
+        self.trace.add(data)
+        key = (target, port)
+        existing = self._latest.get(key)
+        if existing is None:
+            capture = ExploitCapture(port=port, target=target, payload=payload)
+            self._latest[key] = capture
+            self.captures.append(capture)
+        else:
+            existing.payload = payload  # cumulative stream for this victim
+
+    # -- results ----------------------------------------------------------------------
+
+    def popular_ports(self) -> list[int]:
+        """Ports whose fanout crossed the threshold, most popular first."""
+        crossed = [
+            (len(ips), port) for port, ips in self.fanout.items()
+            if len(ips) > self.fanout_threshold
+        ]
+        return [port for _count, port in sorted(crossed, reverse=True)]
+
+    def distinct_payloads(self) -> list[bytes]:
+        seen: list[bytes] = []
+        for capture in self.captures:
+            if capture.payload not in seen:
+                seen.append(capture.payload)
+        return seen

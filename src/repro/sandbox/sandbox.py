@@ -1,0 +1,254 @@
+"""The CnCHunter-style sandbox: the two execution modes of section 2.1.
+
+Mode 1 (*offline analysis*): activate a binary against a fake Internet,
+capture its traffic, detect its referred C2 endpoint, and extract exploit
+payloads with the handshaker.
+
+Mode 2 (*weaponized probing*): reuse an activated binary as a scanner —
+point its C2 connection at arbitrary ``ip:port`` targets and see which
+engage, i.e. answer with application bytes (live C2 discovery).
+
+A third entry point, :meth:`CncHunterSandbox.observe_live`, implements the
+DDoS eavesdropping setup of section 2.5: connect the malware to its real
+C2, allow *only* C2 traffic out (SNORT containment), and record both the
+commands and the attack traffic the bot generates in response.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from ..analysis.c2_detect import (
+    C2Candidate,
+    detect_c2_flows,
+    detect_p2p,
+    resolve_endpoint_name,
+)
+from ..botnet.protocols.base import AttackCommand
+from ..netsim.addresses import ip_to_int
+from ..netsim.capture import Capture
+from ..netsim.internet import VirtualInternet
+from .handshaker import ExploitCapture, Handshaker
+from .inetsim import FakeInternetAdapter
+from .qemu import ActivationError, EmulationError, EmulatedProcess, MipsEmulator
+from .snort import EgressPolicy, FilteredAdapter, PolicyMode, SnortIds
+
+#: default sandbox host address (the infected "device")
+SANDBOX_IP = ip_to_int("100.64.13.37")
+
+
+class LiveInternetAdapter:
+    """Bot-facing adapter over the real (virtual) Internet."""
+
+    def __init__(self, internet: VirtualInternet, bot_ip: int):
+        self.internet = internet
+        self.bot_ip = bot_ip
+
+    def tcp_connect(self, dst: int, port: int, trace: Capture | None = None):
+        return self.internet.tcp_connect(self.bot_ip, dst, port, trace)
+
+    def send_datagram(self, pkt, trace: Capture | None = None) -> None:
+        self.internet.send_datagram(pkt, trace)
+
+    def dns_lookup(self, name: str, trace: Capture | None = None) -> int | None:
+        response = self.internet.dns_lookup(self.bot_ip, name, trace)
+        return response.addresses[0] if response.addresses else None
+
+    def clock_now(self) -> float:
+        return self.internet.clock.now
+
+
+@dataclass
+class OfflineReport:
+    """Output of the closed-world analysis of one binary."""
+
+    sha256: str
+    activated: bool
+    capture: Capture = field(default_factory=Capture)
+    c2_candidates: list[C2Candidate] = field(default_factory=list)
+    c2_endpoint: str | None = None      # IP literal or domain
+    c2_port: int | None = None
+    is_p2p: bool = False
+    exploits: list[ExploitCapture] = field(default_factory=list)
+    scan_ports: list[int] = field(default_factory=list)
+    yara_input: bytes = b""
+
+    @property
+    def has_c2(self) -> bool:
+        return self.c2_endpoint is not None
+
+
+@dataclass
+class ProbeResult:
+    """One weaponized probe of an ip:port target."""
+
+    target: int
+    port: int
+    engaged: bool
+    response: bytes = b""
+
+
+@dataclass
+class LiveReport:
+    """Output of a restricted-mode live C2 session."""
+
+    sha256: str
+    connected: bool
+    c2_host: int | None = None
+    c2_port: int | None = None
+    server_stream: bytes = b""
+    commands: list[AttackCommand] = field(default_factory=list)
+    capture: Capture = field(default_factory=Capture)
+    contained: Capture = field(default_factory=Capture)
+    alerts: int = 0
+
+
+class CncHunterSandbox:
+    """Orchestrates emulation, containment and the two execution modes."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        internet: VirtualInternet | None = None,
+        bot_ip: int = SANDBOX_IP,
+        emulator: MipsEmulator | None = None,
+    ):
+        self.rng = rng
+        self.internet = internet
+        self.bot_ip = bot_ip
+        self.emulator = emulator or MipsEmulator(rng)
+
+    # -- mode 1: offline analysis ------------------------------------------------
+
+    def analyze_offline(self, data: bytes, scan_budget: int = 120) -> OfflineReport:
+        """Closed-world activation, C2 detection and exploit extraction."""
+        try:
+            process = self.emulator.run(data, self.bot_ip)
+        except EmulationError:
+            raise
+        except ActivationError:
+            return OfflineReport(
+                sha256=hashlib.sha256(data).hexdigest(), activated=False,
+                yara_input=data,
+            )
+        report = OfflineReport(sha256=process.sha256, activated=True,
+                               yara_input=data)
+        self._run_c2_phase(process, report)
+        self._run_exploit_phase(process, report, scan_budget)
+        return report
+
+    def _run_c2_phase(self, process: EmulatedProcess, report: OfflineReport) -> None:
+        base_time = self.internet.clock.now if self.internet else 0.0
+        fake = FakeInternetAdapter(self.bot_ip, self.rng, base_time=base_time)
+        bot = process.bot
+        if bot.config.is_p2p:
+            bot.p2p_bootstrap(fake, report.capture)
+        else:
+            session = bot.connect_c2(fake, report.capture)
+            if session is not None:
+                for _ in range(3):
+                    bot.poll_c2(session)
+        # fold fake conversations into the capture-derived flow analysis
+        report.c2_candidates = detect_c2_flows(report.capture, self.bot_ip)
+        report.is_p2p = detect_p2p([pkt.payload for pkt in fake.datagrams])
+        if report.c2_candidates and not report.is_p2p:
+            best = report.c2_candidates[0]
+            report.c2_endpoint = resolve_endpoint_name(best, fake.name_bindings)
+            report.c2_port = best.port
+
+    def _run_exploit_phase(
+        self, process: EmulatedProcess, report: OfflineReport, scan_budget: int
+    ) -> None:
+        if process.bot.config.is_p2p:
+            return
+        handshaker = Handshaker(self.bot_ip, self.rng, trace=report.capture)
+        process.bot.scan_burst(handshaker, scan_budget)
+        report.exploits = list(handshaker.captures)
+        report.scan_ports = handshaker.popular_ports()
+
+    # -- mode 2: weaponized probing ------------------------------------------------
+
+    def probe_targets(
+        self, data: bytes, targets: list[tuple[int, int]],
+        trace: Capture | None = None,
+    ) -> list[ProbeResult]:
+        """Weaponize the binary to probe ip:port targets for live C2s."""
+        if self.internet is None:
+            raise RuntimeError("probing requires a live internet")
+        try:
+            process = self.emulator.run(data, self.bot_ip)
+        except ActivationError:
+            return [ProbeResult(ip, port, False) for ip, port in targets]
+        adapter = LiveInternetAdapter(self.internet, self.bot_ip)
+        results: list[ProbeResult] = []
+        for ip, port in targets:
+            bot = process.bot
+            bot.reset_stream()  # fresh stream per probe
+            session = bot.connect_c2(adapter, trace, override_target=(ip, port))
+            if session is None:
+                results.append(ProbeResult(ip, port, False))
+                continue
+            response = bot.server_bytes + session.recv()
+            session.close()
+            results.append(
+                ProbeResult(ip, port, engaged=bool(response), response=response)
+            )
+        return results
+
+    # -- live observation (restricted mode) ------------------------------------------
+
+    def observe_live(
+        self,
+        data: bytes,
+        duration: float = 2 * 3600.0,
+        poll_interval: float = 60.0,
+        max_attack_packets: int = 400,
+    ) -> LiveReport:
+        """Run the malware against its real C2 with C2-only egress."""
+        if self.internet is None:
+            raise RuntimeError("live observation requires a live internet")
+        sha256 = hashlib.sha256(data).hexdigest()
+        try:
+            process = self.emulator.run(data, self.bot_ip)
+        except ActivationError:
+            return LiveReport(sha256=sha256, connected=False)
+        report = LiveReport(sha256=process.sha256, connected=False)
+        live = LiveInternetAdapter(self.internet, self.bot_ip)
+        bot = process.bot
+        c2_ip = bot.resolve_c2(live, report.capture)
+        if c2_ip is None or not bot.config.c2_port:
+            return report
+        ids = SnortIds(EgressPolicy(PolicyMode.C2_ONLY, frozenset({c2_ip})))
+        filtered = FilteredAdapter(live, ids, trace=report.capture)
+        session = bot.connect_c2(
+            filtered, report.capture, override_target=(c2_ip, bot.config.c2_port)
+        )
+        if session is None:
+            return report
+        report.connected = True
+        report.c2_host = c2_ip
+        report.c2_port = bot.config.c2_port
+        executed: set[tuple] = set()
+        deadline = self.internet.clock.now + duration
+        while self.internet.clock.now < deadline:
+            commands = bot.poll_c2(session)
+            for command in commands:
+                key = (command.method, command.target_ip, command.target_port,
+                       command.duration)
+                if key in executed:
+                    continue
+                executed.add(key)
+                report.commands.append(command)
+                bot.execute_attack(
+                    filtered, command, start_time=self.internet.clock.now,
+                    trace=None, max_packets=max_attack_packets,
+                )
+                self.internet.clock.advance(min(command.duration, 30.0))
+            self.internet.clock.advance(poll_interval)
+        report.server_stream = bot.server_bytes
+        report.contained = ids.contained
+        report.alerts = len(ids.alerts)
+        session.close()
+        return report

@@ -1,0 +1,138 @@
+"""SNORT-style egress containment for the sandbox.
+
+Section 2.6: "We use SNORT IDS to detect and prevent malicious traffic
+from leaving our network", plus per-experiment policies — the DDoS
+experiment only allows traffic to the identified C2 ("restricted mode").
+
+:class:`EgressPolicy` decides per packet whether it may leave the sandbox;
+:class:`SnortIds` wraps a policy with rate-based alerting (flood
+signatures) and an audit log, and exposes the filtered adapter the bot
+actually talks through.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..netsim.capture import Capture
+from ..netsim.packet import Packet
+
+
+class PolicyMode(enum.Enum):
+    """Containment profile per experiment type (section 2.6)."""
+
+    BLOCK_ALL = "block-all"          # closed-world C2 detection
+    C2_ONLY = "c2-only"              # DDoS eavesdropping: only C2 traffic
+    CALL_HOME_ONLY = "call-home"     # subnet probing: only C2 check-ins
+
+
+@dataclass
+class EgressPolicy:
+    """Which destinations the sandbox lets packets reach."""
+
+    mode: PolicyMode
+    allowed_hosts: frozenset[int] = frozenset()
+
+    def permits(self, pkt: Packet) -> bool:
+        if self.mode == PolicyMode.BLOCK_ALL:
+            return False
+        return pkt.dst in self.allowed_hosts
+
+
+@dataclass
+class Alert:
+    """One IDS alert."""
+
+    rule: str
+    message: str
+    time: float
+    dst: int
+    count: int = 1
+
+
+class SnortIds:
+    """Rate-signature IDS in front of the egress policy.
+
+    Counts per-destination packet rates in one-second buckets; a
+    destination exceeding ``flood_threshold`` packets in a bucket raises a
+    flood alert.  Blocked packets are still recorded in ``contained`` (the
+    sandbox's local capture interface sees them — that is how MalNet
+    records attack traffic it never lets out).
+    """
+
+    def __init__(self, policy: EgressPolicy, flood_threshold: int = 100):
+        self.policy = policy
+        self.flood_threshold = flood_threshold
+        self.alerts: list[Alert] = []
+        self.contained = Capture(label="contained")
+        self.released = Capture(label="released")
+        self._buckets: dict[tuple[int, int], int] = {}
+
+    def inspect(self, pkt: Packet) -> bool:
+        """Inspect one outbound packet; True if it may leave."""
+        bucket = (pkt.dst, int(pkt.timestamp))
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        count = self._buckets[bucket]
+        if count == self.flood_threshold:
+            self.alerts.append(
+                Alert(
+                    rule="flood.rate",
+                    message=(
+                        f"flood to {pkt.dst_ip}: >{self.flood_threshold} pps"
+                    ),
+                    time=pkt.timestamp,
+                    dst=pkt.dst,
+                    count=count,
+                )
+            )
+        allowed = self.policy.permits(pkt)
+        if allowed:
+            self.released.add(pkt)
+        else:
+            self.contained.add(pkt)
+        return allowed
+
+    def allow_host(self, address: int) -> None:
+        """Extend the policy allowlist (e.g. once the C2 is identified)."""
+        self.policy = EgressPolicy(
+            self.policy.mode, self.policy.allowed_hosts | {address}
+        )
+
+    @property
+    def flood_alerts(self) -> list[Alert]:
+        return [alert for alert in self.alerts if alert.rule == "flood.rate"]
+
+
+class FilteredAdapter:
+    """NetworkAdapter that routes through the IDS before the real network.
+
+    TCP connects are only attempted for permitted destinations; datagrams
+    are always *captured* but only *delivered* when policy permits — the
+    containment behavior of section 2.6c.
+    """
+
+    def __init__(self, inner, ids: SnortIds, trace: Capture | None = None):
+        self._inner = inner
+        self.ids = ids
+        self._trace = trace
+
+    def tcp_connect(self, dst: int, port: int, trace: Capture | None = None):
+        from ..netsim.packet import TcpFlags, tcp_packet
+
+        probe = tcp_packet(0, dst, 0, port, TcpFlags.SYN)
+        probe.timestamp = getattr(self._inner, "clock_now", lambda: 0.0)()
+        if not self.ids.policy.permits(probe):
+            self.ids.contained.add(probe)
+            return None
+        return self._inner.tcp_connect(dst, port, trace or self._trace)
+
+    def send_datagram(self, pkt: Packet, trace: Capture | None = None) -> None:
+        target = trace or self._trace
+        if target is not None:
+            target.add(pkt)
+        if self.ids.inspect(pkt):
+            self._inner.send_datagram(pkt, None)
+
+    def dns_lookup(self, name: str, trace: Capture | None = None):
+        return self._inner.dns_lookup(name, trace or self._trace)

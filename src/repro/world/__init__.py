@@ -1,0 +1,28 @@
+"""Ground-truth world generation, calibrated to the paper's findings."""
+
+from . import calibration
+from .calibration import DEFAULT_SEED, FULL_SCALE, SMOKE_SCALE, StudyScale
+from .generator import World, WorldGenerator, generate_world
+from .model import (
+    C2Deployment,
+    Campaign,
+    GroundTruth,
+    PlannedAttack,
+    PlannedSample,
+)
+
+__all__ = [
+    "C2Deployment",
+    "Campaign",
+    "DEFAULT_SEED",
+    "FULL_SCALE",
+    "GroundTruth",
+    "PlannedAttack",
+    "PlannedSample",
+    "SMOKE_SCALE",
+    "StudyScale",
+    "World",
+    "WorldGenerator",
+    "calibration",
+    "generate_world",
+]

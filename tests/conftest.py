@@ -1,0 +1,39 @@
+"""Shared fixtures: generated worlds and completed studies.
+
+Session-scoped because a study run is the expensive part; tests only read
+from the results.
+"""
+
+import pytest
+
+from repro.world import StudyScale, generate_world
+from repro.core.study import run_study
+
+SMOKE = StudyScale(sample_fraction=0.05, probe_days=4,
+                   observe_duration=1800.0, observe_poll_interval=300.0,
+                   scan_budget=120)
+MID = StudyScale(sample_fraction=0.3, probe_days=14,
+                 observe_duration=2700.0, observe_poll_interval=300.0,
+                 scan_budget=200)
+
+
+@pytest.fixture(scope="session")
+def smoke_world():
+    return generate_world(seed=20220322, scale=SMOKE)
+
+
+@pytest.fixture(scope="session")
+def smoke_study(smoke_world):
+    malnet, campaign, datasets = run_study(smoke_world)
+    return smoke_world, malnet, campaign, datasets
+
+
+@pytest.fixture(scope="session")
+def mid_world():
+    return generate_world(seed=7, scale=MID)
+
+
+@pytest.fixture(scope="session")
+def mid_study(mid_world):
+    malnet, campaign, datasets = run_study(mid_world)
+    return mid_world, malnet, campaign, datasets

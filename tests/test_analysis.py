@@ -1,0 +1,249 @@
+"""Tests for C2 detection, DDoS detection, and statistics helpers."""
+
+import random
+
+import pytest
+
+from repro.analysis.c2_detect import (
+    classify_flow,
+    detect_c2_flows,
+    detect_p2p,
+    resolve_endpoint_name,
+)
+from repro.analysis.ddos_detect import (
+    ProfiledCommand,
+    RateBurst,
+    attribute_burst,
+    profile_stream,
+    rate_bursts,
+    target_in_command_bytes,
+    verify_flooding,
+)
+from repro.analysis.stats import (
+    count_by,
+    day_number,
+    empirical_cdf,
+    fraction_at_most,
+    mean,
+    quantile,
+    share_by,
+    top_n,
+    week_number,
+)
+from repro.botnet.protocols import daddyl33t, gafgyt, mirai
+from repro.botnet.protocols.base import AttackCommand
+from repro.netsim.addresses import ip_to_int
+from repro.netsim.capture import Capture
+from repro.netsim.flows import FlowTable
+from repro.netsim.packet import TcpFlags, tcp_packet, udp_packet
+
+BOT = ip_to_int("100.64.13.37")
+C2 = ip_to_int("203.0.113.10")
+BENIGN = ip_to_int("198.51.100.80")
+TARGET = ip_to_int("192.0.2.50")
+
+
+def conversation(client_payloads, server_payloads, dst=C2, dport=666, t0=0.0):
+    """Interleaved PSH/ACK exchange as the fake adapter records it."""
+    packets = []
+    t = t0
+    for client, server in zip(client_payloads, server_payloads):
+        if client:
+            packets.append(tcp_packet(BOT, dst, 40000, dport,
+                                      TcpFlags.PSH | TcpFlags.ACK, client,
+                                      timestamp=t))
+            t += 0.01
+        if server:
+            packets.append(tcp_packet(dst, BOT, dport, 40000,
+                                      TcpFlags.PSH | TcpFlags.ACK, server,
+                                      timestamp=t))
+            t += 0.01
+    return packets
+
+
+class TestC2Detection:
+    def test_gafgyt_checkin_flow_detected(self):
+        capture = Capture(conversation(
+            [b"BUILD MIPS\n", b"PING\n"], [b"!* SCANNER ON\n", b"PONG\n"]
+        ))
+        candidates = detect_c2_flows(capture, BOT)
+        assert candidates
+        assert candidates[0].host == C2
+        assert candidates[0].dialect == "gafgyt"
+        assert candidates[0].confidence == 1.0
+
+    def test_benign_http_flow_not_detected(self):
+        capture = Capture(conversation(
+            [b"GET / HTTP/1.0\r\n\r\n"], [b"HTTP/1.0 200 OK\r\n\r\nhello"],
+            dst=BENIGN, dport=80,
+        ))
+        assert detect_c2_flows(capture, BOT) == []
+
+    def test_signature_beats_behavioral(self):
+        packets = conversation(
+            [b"BUILD MIPS\n", b"PING\n", b"PING\n"],
+            [b"ok\n", b"PONG\n", b"PONG\n"],
+        )
+        packets += conversation(
+            [b"hello\n", b"are\n", b"you\n", b"there\n"],
+            [b"yes\n", b"i\n", b"am\n", b"here\n"],
+            dst=BENIGN, dport=7547, t0=10.0,
+        )
+        candidates = detect_c2_flows(Capture(packets), BOT)
+        assert candidates[0].host == C2
+        assert candidates[0].confidence > candidates[-1].confidence or \
+            len(candidates) == 1
+
+    def test_mirai_binary_checkin_detected(self):
+        capture = Capture(conversation(
+            [mirai.encode_checkin(b"bot1")], [mirai.HANDSHAKE],
+        ))
+        (candidate,) = detect_c2_flows(capture, BOT)
+        assert candidate.dialect == "mirai"
+
+    def test_flow_without_payload_ignored(self):
+        capture = Capture([tcp_packet(BOT, C2, 1, 2, TcpFlags.SYN)])
+        assert detect_c2_flows(capture, BOT) == []
+
+    def test_classify_flow_udp_none(self):
+        table = FlowTable()
+        flow = table.observe(udp_packet(BOT, C2, 1, 2, b"x"))
+        assert classify_flow(flow) is None
+
+    def test_detect_p2p_majority(self):
+        from repro.botnet.protocols import p2p
+
+        rng = random.Random(0)
+        dht = p2p.encode_find_node(p2p.node_id(rng), p2p.node_id(rng))
+        assert detect_p2p([dht, dht, b"junk"])
+        assert not detect_p2p([b"junk", b"junk", dht])
+        assert not detect_p2p([])
+
+    def test_resolve_endpoint_prefers_domain(self):
+        from repro.analysis.c2_detect import C2Candidate
+
+        candidate = C2Candidate(host=0xC6120005, port=23, dialect="mirai",
+                                confidence=1.0)
+        name = resolve_endpoint_name(candidate, {"cnc.example": 0xC6120005})
+        assert name == "cnc.example"
+        bare = resolve_endpoint_name(candidate, {})
+        assert bare == "198.18.0.5"
+
+
+class TestDdosDetection:
+    def command(self, method="udp", target=TARGET):
+        return AttackCommand(method, target, 80, 60)
+
+    def test_profile_stream_all_three_dialects(self):
+        streams = (
+            mirai.encode_attack(self.command("udp")),
+            gafgyt.encode_attack(self.command("std")),
+            daddyl33t.encode_attack(self.command("hydrasyn")),
+        )
+        methods = {
+            p.command.method for stream in streams for p in profile_stream(stream)
+        }
+        assert methods == {"udp", "std", "hydrasyn"}
+
+    def test_profile_stream_text_dialects_coexist(self):
+        # text dialects are line-based, so a mixed text stream still parses
+        stream = (
+            gafgyt.encode_attack(self.command("std"))
+            + daddyl33t.encode_attack(self.command("hydrasyn"))
+        )
+        methods = {p.command.method for p in profile_stream(stream)}
+        assert methods == {"std", "hydrasyn"}
+
+    def test_profile_stream_dedupes(self):
+        stream = gafgyt.encode_attack(self.command()) * 2
+        assert len(profile_stream(stream)) == 1
+
+    def test_rate_burst_found(self):
+        packets = [
+            udp_packet(BOT, TARGET, 4000, 80, b"\x00", timestamp=5.0 + i * 0.001)
+            for i in range(300)
+        ]
+        bursts = rate_bursts(Capture(packets), BOT, c2_hosts={C2})
+        assert len(bursts) == 1
+        assert bursts[0].target == TARGET
+        assert bursts[0].rate > 100
+
+    def test_c2_traffic_not_a_burst(self):
+        packets = [
+            udp_packet(BOT, C2, 4000, 80, b"\x00", timestamp=5.0 + i * 0.001)
+            for i in range(300)
+        ]
+        assert rate_bursts(Capture(packets), BOT, c2_hosts={C2}) == []
+
+    def test_slow_traffic_not_a_burst(self):
+        packets = [
+            udp_packet(BOT, TARGET, 4000, 80, b"\x00", timestamp=i * 1.0)
+            for i in range(50)
+        ]
+        assert rate_bursts(Capture(packets), BOT, c2_hosts=set()) == []
+
+    def test_verify_flooding(self):
+        packets = [
+            udp_packet(BOT, TARGET, 4000, 80, b"\x00", timestamp=i * 0.001)
+            for i in range(100)
+        ]
+        assert verify_flooding(self.command(), Capture(packets), BOT)
+        assert not verify_flooding(
+            self.command(target=BENIGN), Capture(packets), BOT
+        )
+
+    def test_target_in_command_bytes_text_and_binary(self):
+        text_command = gafgyt.encode_attack(self.command())
+        assert target_in_command_bytes(TARGET, text_command)
+        binary_command = mirai.encode_attack(self.command())
+        assert target_in_command_bytes(TARGET, binary_command)
+        assert not target_in_command_bytes(BENIGN, text_command)
+
+    def test_attribute_burst_last_command_wins(self):
+        first = ProfiledCommand("gafgyt", self.command("udp"))
+        second = ProfiledCommand("gafgyt", self.command("std"))
+        burst = RateBurst(target=TARGET, start=0.0, packets=500, rate=500.0)
+        assert attribute_burst(burst, [first, second]) is second
+        other = RateBurst(target=BENIGN, start=0.0, packets=500, rate=500.0)
+        assert attribute_burst(other, [first, second]) is None
+
+
+class TestStats:
+    def test_empirical_cdf(self):
+        points = empirical_cdf([1, 1, 2, 4])
+        assert [(p.value, p.fraction) for p in points] == [
+            (1, 0.5), (2, 0.75), (4, 1.0)
+        ]
+        assert empirical_cdf([]) == []
+
+    def test_fraction_at_most(self):
+        assert fraction_at_most([1, 2, 3, 4], 2) == 0.5
+        with pytest.raises(ValueError):
+            fraction_at_most([], 1)
+
+    def test_quantile(self):
+        values = list(range(1, 102))
+        assert quantile(values, 0.0) == 1
+        assert quantile(values, 1.0) == 101
+        assert quantile(values, 0.5) == 51
+        with pytest.raises(ValueError):
+            quantile(values, 1.5)
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_count_and_share(self):
+        items = ["a", "b", "a", "a"]
+        assert count_by(items, lambda x: x) == {"a": 3, "b": 1}
+        assert share_by(items, lambda x: x) == {"a": 0.75, "b": 0.25}
+        assert share_by([], lambda x: x) == {}
+
+    def test_top_n_stable(self):
+        counts = {"x": 5, "y": 5, "z": 1}
+        assert top_n(counts, 2) == [("x", 5), ("y", 5)]
+
+    def test_week_and_day_numbers(self):
+        assert week_number(86400.0 * 7, 0.0) == 1
+        assert day_number(86400.0 * 3 + 5, 0.0) == 3
+        with pytest.raises(ValueError):
+            week_number(0.0, 100.0)

@@ -1,0 +1,133 @@
+"""Tests for bot config TLV encoding and Mirai-style obfuscation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binary.config import (
+    BotConfig,
+    ConfigError,
+    MIRAI_TABLE_KEY,
+    pack_config,
+    unpack_config,
+    xor_deobfuscate,
+    xor_obfuscate,
+)
+
+hosts = st.one_of(
+    st.just("203.0.113.7"),
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz.", min_size=3, max_size=20)
+    .filter(lambda s: "." in s.strip(".") and not s.startswith(".") and ".." not in s),
+)
+
+
+def full_config():
+    return BotConfig(
+        family="mirai",
+        c2_host="cnc.botnet.example",
+        c2_port=23,
+        scan_ports=[23, 2323, 80],
+        exploit_ids=[1, 2, 6],
+        loader_name="8UsA.sh",
+        downloader="203.0.113.5:80",
+        attacks=["udp", "syn", "vse"],
+        variant="mirai.a",
+        p2p_bootstrap=[],
+    )
+
+
+class TestTlvRoundtrip:
+    def test_full_roundtrip(self):
+        config = full_config()
+        assert BotConfig.decode(config.encode()) == config
+
+    def test_minimal_roundtrip(self):
+        config = BotConfig(family="gafgyt")
+        assert BotConfig.decode(config.encode()) == config
+
+    def test_p2p_roundtrip(self):
+        config = BotConfig(
+            family="mozi", p2p_bootstrap=["203.0.113.1:6881", "203.0.113.2:6881"]
+        )
+        decoded = BotConfig.decode(config.encode())
+        assert decoded.p2p_bootstrap == config.p2p_bootstrap
+        assert decoded.is_p2p
+
+    @given(
+        family=st.sampled_from(["mirai", "gafgyt", "tsunami", "daddyl33t"]),
+        host=hosts,
+        port=st.integers(min_value=1, max_value=65535),
+        scan_ports=st.lists(st.integers(min_value=1, max_value=65535), max_size=8),
+        exploit_ids=st.lists(st.integers(min_value=0, max_value=100), max_size=8),
+    )
+    def test_roundtrip_property(self, family, host, port, scan_ports, exploit_ids):
+        config = BotConfig(
+            family=family, c2_host=host, c2_port=port,
+            scan_ports=scan_ports, exploit_ids=exploit_ids,
+        )
+        assert BotConfig.decode(config.encode()) == config
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ConfigError):
+            BotConfig.decode(b"XXXX")
+
+    def test_truncated_rejected(self):
+        data = full_config().encode()
+        with pytest.raises(ConfigError):
+            BotConfig.decode(data[:-3])
+
+    def test_missing_family_rejected(self):
+        with pytest.raises(ConfigError):
+            BotConfig.decode(b"BCFG")
+
+
+class TestDnsDetection:
+    def test_ip_host_is_not_dns(self):
+        assert not BotConfig(family="mirai", c2_host="1.2.3.4").uses_dns
+
+    def test_domain_host_is_dns(self):
+        assert BotConfig(family="mirai", c2_host="cnc.example.com").uses_dns
+
+    def test_empty_host_is_not_dns(self):
+        assert not BotConfig(family="mirai").uses_dns
+
+
+class TestObfuscation:
+    def test_involution(self):
+        data = b"the quick brown fox"
+        assert xor_deobfuscate(xor_obfuscate(data)) == data
+
+    def test_key_folding_matches_mirai(self):
+        # 0xDEADBEEF folds to 0xDE^0xAD^0xBE^0xEF = 0x22
+        folded = 0xDE ^ 0xAD ^ 0xBE ^ 0xEF
+        assert xor_obfuscate(b"\x00", MIRAI_TABLE_KEY) == bytes([folded])
+
+    @given(st.binary(max_size=256), st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_involution_property(self, data, key):
+        assert xor_deobfuscate(xor_obfuscate(data, key), key) == data
+
+    def test_obfuscated_differs_from_clear(self):
+        data = full_config().encode()
+        assert xor_obfuscate(data) != data
+
+
+class TestPackUnpack:
+    def test_clear_pack(self):
+        config = full_config()
+        payload = pack_config(config, obfuscate=False)
+        assert payload[0] == 0
+        assert unpack_config(payload) == config
+
+    def test_obfuscated_pack(self):
+        config = full_config()
+        payload = pack_config(config, obfuscate=True)
+        assert payload[0] == 1
+        assert b"cnc.botnet.example" not in payload  # hidden on disk
+        assert unpack_config(payload) == config
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            unpack_config(b"")
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ConfigError):
+            unpack_config(b"\x07junk")

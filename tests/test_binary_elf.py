@@ -1,0 +1,115 @@
+"""Tests for the ELF32 encoder/parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binary.elf import (
+    EM_ARM,
+    EM_MIPS,
+    ElfError,
+    ElfImage,
+    is_mips32_elf,
+    machine_name,
+)
+
+section_names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz._", min_size=1, max_size=12)
+
+
+def make_image(**kwargs):
+    image = ElfImage(**kwargs)
+    image.add_section(".text", b"\x24\x04\x00\x01" * 16)
+    image.add_section(".rodata", b"/bin/busybox\x00")
+    image.add_section(".config", b"BCFGdata")
+    return image
+
+
+class TestRoundtrip:
+    def test_big_endian(self):
+        image = make_image(endianness="big")
+        parsed = ElfImage.parse(image.encode())
+        assert parsed.machine == EM_MIPS
+        assert parsed.endianness == "big"
+        assert parsed.section(".config").data == b"BCFGdata"
+
+    def test_little_endian(self):
+        image = make_image(endianness="little")
+        parsed = ElfImage.parse(image.encode())
+        assert parsed.endianness == "little"
+        assert parsed.section(".rodata").data == b"/bin/busybox\x00"
+
+    def test_section_names_preserved(self):
+        parsed = ElfImage.parse(make_image().encode())
+        assert [s.name for s in parsed.sections] == [".text", ".rodata", ".config"]
+
+    def test_entry_preserved(self):
+        image = make_image()
+        image.entry = 0x00401234
+        assert ElfImage.parse(image.encode()).entry == 0x00401234
+
+    @given(
+        st.lists(
+            st.tuples(section_names, st.binary(min_size=0, max_size=128)),
+            min_size=1,
+            max_size=6,
+            unique_by=lambda t: t[0],
+        ),
+        st.sampled_from(["big", "little"]),
+    )
+    def test_roundtrip_property(self, sections, endianness):
+        image = ElfImage(endianness=endianness)
+        for name, data in sections:
+            image.add_section(name, data)
+        parsed = ElfImage.parse(image.encode())
+        assert [(s.name, s.data) for s in parsed.sections] == sections
+
+
+class TestValidation:
+    def test_magic_bytes(self):
+        assert make_image().encode()[:4] == b"\x7fELF"
+
+    def test_rejects_non_elf(self):
+        with pytest.raises(ElfError):
+            ElfImage.parse(b"MZ\x90\x00" + b"\x00" * 100)
+
+    def test_rejects_short(self):
+        with pytest.raises(ElfError):
+            ElfImage.parse(b"\x7fELF\x01\x01\x01")
+
+    def test_rejects_elf64(self):
+        data = bytearray(make_image().encode())
+        data[4] = 2  # EI_CLASS = ELFCLASS64
+        with pytest.raises(ElfError, match="64-bit"):
+            ElfImage.parse(bytes(data))
+
+    def test_rejects_bad_ei_data(self):
+        data = bytearray(make_image().encode())
+        data[5] = 9
+        with pytest.raises(ElfError):
+            ElfImage.parse(bytes(data))
+
+    def test_rejects_truncated_section_table(self):
+        data = make_image().encode()
+        with pytest.raises(ElfError):
+            ElfImage.parse(data[: len(data) - 10])
+
+    def test_duplicate_section_rejected(self):
+        image = make_image()
+        with pytest.raises(ElfError):
+            image.add_section(".text", b"dup")
+
+
+class TestMipsFilter:
+    def test_accepts_mips(self):
+        assert is_mips32_elf(make_image().encode())
+
+    def test_rejects_arm(self):
+        assert not is_mips32_elf(make_image(machine=EM_ARM).encode())
+
+    def test_rejects_junk(self):
+        assert not is_mips32_elf(b"not an elf at all")
+        assert not is_mips32_elf(b"")
+
+    def test_machine_names(self):
+        assert machine_name(EM_MIPS) == "MIPS"
+        assert machine_name(EM_ARM) == "ARM"
+        assert "unknown" in machine_name(12345)

@@ -1,0 +1,194 @@
+"""Tests for C2 servers, responsiveness model, and bot/C2 interplay."""
+
+import random
+
+import pytest
+
+from repro.binary.config import BotConfig
+from repro.botnet.bot import Bot
+from repro.botnet.c2server import (
+    C2Server,
+    DownloaderHttp,
+    ResponsivenessModel,
+    SLOT_SECONDS,
+    observed_lifespan_days,
+)
+from repro.botnet.families import get_family
+from repro.botnet.protocols.base import AttackCommand
+from repro.netsim.addresses import int_to_ip, ip_to_int
+from repro.netsim.capture import Capture
+from repro.netsim.internet import Listener, VirtualInternet
+from repro.netsim.packet import Protocol
+
+BOT_IP = ip_to_int("198.51.100.77")
+C2_IP = ip_to_int("203.0.113.10")
+TARGET = ip_to_int("192.0.2.50")
+C2_PORT = 1312
+
+
+class InternetAdapter:
+    """Minimal NetworkAdapter over a VirtualInternet, for tests."""
+
+    def __init__(self, internet, bot_ip):
+        self.internet = internet
+        self.bot_ip = bot_ip
+
+    def tcp_connect(self, dst, port, trace=None):
+        return self.internet.tcp_connect(self.bot_ip, dst, port, trace)
+
+    def send_datagram(self, pkt, trace=None):
+        self.internet.send_datagram(pkt, trace)
+
+    def dns_lookup(self, name, trace=None):
+        response = self.internet.dns_lookup(self.bot_ip, name, trace)
+        return response.addresses[0] if response.addresses else None
+
+
+def build_world(family_name, schedule=None):
+    rng = random.Random(7)
+    internet = VirtualInternet(random.Random(8))
+    internet.add_host(BOT_IP, "sandbox")
+    host = internet.add_host(C2_IP, "c2")
+    server = C2Server(get_family(family_name), rng, schedule=schedule)
+    host.bind(Listener(port=C2_PORT, protocol=Protocol.TCP, service=server))
+    config = BotConfig(
+        family=family_name, c2_host=int_to_ip(C2_IP), c2_port=C2_PORT,
+    )
+    bot = Bot(config, BOT_IP, random.Random(9))
+    return internet, server, bot, InternetAdapter(internet, BOT_IP)
+
+
+class TestCheckins:
+    @pytest.mark.parametrize("family", ["mirai", "gafgyt", "daddyl33t", "tsunami"])
+    def test_bot_checks_in(self, family):
+        _, server, bot, adapter = build_world(family)
+        session = bot.connect_c2(adapter)
+        assert session is not None
+        assert BOT_IP in server.checked_in
+
+    def test_p2p_family_has_no_c2_server(self):
+        with pytest.raises(ValueError):
+            C2Server(get_family("mozi"), random.Random(0))
+
+    def test_mirai_server_acks_handshake(self):
+        _, _, bot, adapter = build_world("mirai")
+        bot.connect_c2(adapter)
+        assert bot.server_bytes.startswith(b"\x00\x00\x00\x01")
+
+    def test_gafgyt_ping_pong(self):
+        _, _, bot, adapter = build_world("gafgyt")
+        session = bot.connect_c2(adapter)
+        bot.poll_c2(session)
+        assert b"PONG" in bot.server_bytes
+
+
+class TestAttackDelivery:
+    def attack(self, method="udp"):
+        return AttackCommand(method, TARGET, 80, 60)
+
+    @pytest.mark.parametrize(
+        "family,method",
+        [("mirai", "udp"), ("gafgyt", "udp"), ("daddyl33t", "hydrasyn"),
+         ("tsunami", "udp")],
+    )
+    def test_scheduled_attack_reaches_bot(self, family, method):
+        internet, server, bot, adapter = build_world(family)
+        server.schedule_attack(internet.clock.now, self.attack(method))
+        session = bot.connect_c2(adapter)
+        commands = bot.poll_c2(session)
+        assert self.attack(method) in commands
+
+    def test_future_attack_not_delivered_early(self):
+        internet, server, bot, adapter = build_world("gafgyt")
+        server.schedule_attack(internet.clock.now + 3600, self.attack())
+        session = bot.connect_c2(adapter)
+        assert bot.poll_c2(session) == []
+        internet.clock.advance(3601)
+        assert self.attack() in bot.poll_c2(session)
+
+    def test_attack_delivered_once_per_bot(self):
+        internet, server, bot, adapter = build_world("gafgyt")
+        server.schedule_attack(internet.clock.now, self.attack())
+        session = bot.connect_c2(adapter)
+        first = bot.poll_c2(session)
+        second = bot.poll_c2(session)
+        assert len(first) == 1
+        assert len(second) == 1  # cumulative decode still sees one command
+        assert len(server.issued) == 1
+
+    def test_issuance_recorded_with_time(self):
+        internet, server, bot, adapter = build_world("gafgyt")
+        server.schedule_attack(internet.clock.now, self.attack())
+        session = bot.connect_c2(adapter)
+        bot.poll_c2(session)
+        ((peer, command, when),) = server.issued
+        assert peer == BOT_IP
+        assert command == self.attack()
+        assert when >= internet.clock.now - 10
+
+
+class TestResponsivenessModel:
+    def test_rarely_responds_twice_in_a_row(self):
+        """Calibration target: ~91% of successes not repeated 4h later."""
+        repeats = 0
+        successes = 0
+        for seed in range(300):
+            model = ResponsivenessModel(seed)
+            states = [model.is_open(i * SLOT_SECONDS) for i in range(84)]
+            for a, b in zip(states, states[1:]):
+                if a:
+                    successes += 1
+                    if b:
+                        repeats += 1
+        assert successes > 500
+        rate = repeats / successes
+        assert 0.04 < rate < 0.15  # paper: 0.09
+
+    def test_stationary_open_fraction(self):
+        model = ResponsivenessModel(1)
+        states = [model.is_open(i * SLOT_SECONDS) for i in range(5000)]
+        fraction = sum(states) / len(states)
+        assert 0.15 < fraction < 0.30  # configured pi = 0.22
+
+    def test_deterministic_given_seed(self):
+        a = ResponsivenessModel(5)
+        b = ResponsivenessModel(5)
+        times = [i * SLOT_SECONDS for i in range(50)]
+        assert [a.is_open(t) for t in times] == [b.is_open(t) for t in times]
+
+    def test_constant_within_slot(self):
+        model = ResponsivenessModel(2)
+        base = 10 * SLOT_SECONDS
+        assert model.is_open(base) == model.is_open(base + SLOT_SECONDS - 1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ResponsivenessModel(0, p_open=0.0)
+        with pytest.raises(ValueError):
+            ResponsivenessModel(0, p_open=0.99, p_stay_open=0.0)
+        with pytest.raises(ValueError):
+            ResponsivenessModel(0, p_stay_open=1.5)
+
+
+class TestDownloader:
+    def test_serves_files(self):
+        internet = VirtualInternet(random.Random(0))
+        internet.add_host(BOT_IP)
+        host = internet.add_host(C2_IP)
+        downloader = DownloaderHttp({"8UsA.sh": b"#!/bin/sh\necho pwned\n"})
+        host.bind(Listener(port=80, protocol=Protocol.TCP, service=downloader))
+        session = internet.tcp_connect(BOT_IP, C2_IP, 80)
+        session.send(b"GET /8UsA.sh HTTP/1.0\r\n\r\n")
+        reply = session.recv()
+        assert reply.startswith(b"HTTP/1.0 200 OK")
+        assert b"echo pwned" in reply
+        assert downloader.requests == ["/8UsA.sh"]
+
+
+class TestLifespan:
+    def test_days_computed(self):
+        assert observed_lifespan_days(0.0, 86400.0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            observed_lifespan_days(100.0, 50.0)

@@ -1,0 +1,143 @@
+"""Tests for the 8 DDoS attack generators."""
+
+import random
+
+import pytest
+
+from repro.botnet.ddos import (
+    AttackVariant,
+    FLOOD_PPS,
+    NFO_PAYLOAD,
+    VSE_PROBE,
+    generate_attack,
+)
+from repro.botnet.protocols.base import ALL_METHODS, AttackCommand
+from repro.netsim.addresses import ip_to_int
+from repro.netsim.packet import Protocol, TcpFlags
+
+BOT = ip_to_int("198.51.100.77")
+TARGET = ip_to_int("192.0.2.50")
+
+
+def make(method, port=80, duration=30):
+    return AttackCommand(method, TARGET, port, duration)
+
+
+def gen(method, port=80, variant=None, max_packets=200):
+    return generate_attack(
+        make(method, port), BOT, random.Random(0), start_time=1000.0,
+        max_packets=max_packets, variant=variant,
+    )
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_all_methods_generate(self, method):
+        packets = gen(method)
+        assert packets
+        assert all(p.src == BOT and p.dst == TARGET for p in packets)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_rate_exceeds_heuristic_threshold(self, method):
+        """Every attack must trip MalNet's >100 pps heuristic."""
+        packets = gen(method)
+        span = packets[-1].timestamp - packets[0].timestamp
+        assert span > 0
+        assert len(packets) / span > 100
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_timestamps_monotonic(self, method):
+        times = [p.timestamp for p in gen(method)]
+        assert times == sorted(times)
+
+    def test_max_packets_cap(self):
+        assert len(gen("udp", max_packets=50)) == 50
+
+    def test_short_duration_limits_count(self):
+        packets = generate_attack(
+            make("udp", duration=1), BOT, random.Random(0), 0.0, max_packets=10**6
+        )
+        assert len(packets) == int(FLOOD_PPS)
+
+
+class TestUdpFlood:
+    def test_null_byte_payload(self):
+        packets = gen("udp")
+        assert all(p.protocol == Protocol.UDP for p in packets)
+        assert all(p.payload == b"\x00" for p in packets)
+
+    def test_fixed_source_port_by_default(self):
+        sports = {p.sport for p in gen("udp")}
+        assert len(sports) == 1
+
+    def test_rotating_source_ports_variant(self):
+        variant = AttackVariant(rotate_source_ports=True)
+        sports = {p.sport for p in gen("udp", variant=variant)}
+        assert len(sports) > 10
+
+    def test_udpraw_same_shape(self):
+        packets = gen("udpraw")
+        assert all(p.payload == b"\x00" for p in packets)
+
+
+class TestSynFlood:
+    def test_syn_only_flags(self):
+        packets = gen("syn")
+        assert all(p.flags == TcpFlags.SYN for p in packets)
+        assert all(p.protocol == Protocol.TCP for p in packets)
+
+    def test_multiple_source_ports(self):
+        assert len({p.sport for p in gen("hydrasyn")}) > 10
+
+    def test_fixed_dest_port_by_default(self):
+        assert {p.dport for p in gen("syn", port=443)} == {443}
+
+    def test_rotating_dest_ports_variant(self):
+        variant = AttackVariant(rotate_dest_ports=True)
+        assert len({p.dport for p in gen("syn", variant=variant)}) > 10
+
+
+class TestTls:
+    def test_daddyl33t_flavor_is_udp_dtls(self):
+        packets = gen("tls", port=4567)
+        assert all(p.protocol == Protocol.UDP for p in packets)
+        assert all(p.payload.startswith(b"\x16\xfe\xfd") for p in packets)
+        assert all(p.dport == 4567 for p in packets)
+
+    def test_mirai_flavor_handshake_chunks_rst(self):
+        variant = AttackVariant(rotate_source_ports=True)
+        packets = gen("tls", port=443, variant=variant)
+        assert any(p.flags == TcpFlags.SYN for p in packets)
+        assert any(p.flags & TcpFlags.RST for p in packets)
+        assert any(p.payload.startswith(b"\x16\x03\x01") for p in packets)
+
+
+class TestOtherAttacks:
+    def test_blacknurse_icmp_type3_code3(self):
+        packets = gen("blacknurse", port=0)
+        assert all(p.protocol == Protocol.ICMP for p in packets)
+        assert all(p.icmp_type == 3 and p.icmp_code == 3 for p in packets)
+
+    def test_stomp_handshake_then_frames(self):
+        packets = gen("stomp", port=61613)
+        assert packets[0].flags == TcpFlags.SYN
+        frames = [p for p in packets if p.payload]
+        assert frames and all(p.payload.startswith(b"SEND\n") for p in frames)
+
+    def test_vse_tsource_probe(self):
+        packets = gen("vse", port=27015)
+        assert all(p.payload == VSE_PROBE for p in packets)
+        assert b"TSource Engine Query" in VSE_PROBE
+
+    def test_std_single_random_string_reused(self):
+        packets = gen("std")
+        payloads = {p.payload for p in packets}
+        assert len(payloads) == 1
+        (payload,) = payloads
+        assert len(payload) == 32 and payload.isalpha()
+
+    def test_nfo_targets_port_238(self):
+        packets = gen("nfo", port=9999)  # command port is ignored
+        assert all(p.dport == 238 for p in packets)
+        assert all(p.payload == NFO_PAYLOAD for p in packets)
+        assert NFO_PAYLOAD.startswith(b"NFOV6")

@@ -1,0 +1,67 @@
+"""Tests for the family registry (paper Table 6)."""
+
+import pytest
+
+from repro.botnet.families import (
+    ATTACK_FAMILIES,
+    C2Dialect,
+    FAMILIES,
+    c2_families,
+    family_table,
+    get_family,
+)
+
+
+class TestRegistry:
+    def test_seven_families(self):
+        assert len(FAMILIES) == 7
+        assert set(FAMILIES) == {
+            "mirai", "gafgyt", "tsunami", "daddyl33t", "mozi", "hajime",
+            "vpnfilter",
+        }
+
+    def test_lookup_case_insensitive(self):
+        assert get_family("MIRAI") is FAMILIES["mirai"]
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            get_family("emotet")
+
+    def test_p2p_families(self):
+        assert FAMILIES["mozi"].is_p2p
+        assert FAMILIES["hajime"].is_p2p
+        assert not FAMILIES["mirai"].is_p2p
+
+    def test_c2_families_excludes_p2p(self):
+        names = {fam.name for fam in c2_families()}
+        assert "mozi" not in names and "hajime" not in names
+        assert len(names) == 5
+
+    def test_dialects(self):
+        assert FAMILIES["mirai"].dialect == C2Dialect.MIRAI_BINARY
+        assert FAMILIES["gafgyt"].dialect == C2Dialect.GAFGYT_TEXT
+        assert FAMILIES["tsunami"].dialect == C2Dialect.IRC
+        assert FAMILIES["mozi"].dialect == C2Dialect.P2P
+
+    def test_only_mirai_obfuscates_config(self):
+        assert FAMILIES["mirai"].obfuscated_config
+        assert not any(
+            fam.obfuscated_config for name, fam in FAMILIES.items() if name != "mirai"
+        )
+
+    def test_attack_families_match_section5(self):
+        assert set(ATTACK_FAMILIES) == {"mirai", "gafgyt", "daddyl33t"}
+        for name in ATTACK_FAMILIES:
+            assert len(FAMILIES[name].variants) == 2  # two variants each (§5)
+
+    def test_attack_methods_cover_section_5_1(self):
+        assert "vse" in FAMILIES["mirai"].attack_methods
+        assert "vse" in FAMILIES["gafgyt"].attack_methods  # one Gafgyt VSE seen
+        assert "blacknurse" in FAMILIES["daddyl33t"].attack_methods
+        assert "nfo" in FAMILIES["daddyl33t"].attack_methods
+        assert "std" in FAMILIES["gafgyt"].attack_methods
+
+    def test_family_table_rows(self):
+        rows = family_table()
+        assert len(rows) == 7
+        assert all(description for _name, description in rows)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestStudyCommand:
+    def test_study_prints_table1(self):
+        code, text = run_cli("--scale", "smoke", "--seed", "3", "study")
+        assert code == 0
+        assert "Table 1" in text
+        assert "D-Samples" in text and "D-DDOS" in text
+        assert "dead-on-day-0" in text
+
+    def test_seed_changes_output(self):
+        _c, a = run_cli("--scale", "smoke", "--seed", "3", "study")
+        _c, b = run_cli("--scale", "smoke", "--seed", "4", "study")
+        assert a != b
+
+    def test_seed_reproducible(self):
+        _c, a = run_cli("--scale", "smoke", "--seed", "3", "study")
+        _c, b = run_cli("--scale", "smoke", "--seed", "3", "study")
+        assert a == b
+
+
+class TestReportCommand:
+    def test_default_report(self):
+        code, text = run_cli("--scale", "smoke", "report")
+        assert code == 0
+        assert "Table 1" in text
+
+    def test_multiple_items(self):
+        code, text = run_cli("--scale", "smoke", "report",
+                             "--what", "table3", "fig4", "fig11")
+        assert code == 0
+        assert "Table 3" in text
+        assert "Figure 4" in text and "#" in text
+        assert "Figure 11" in text
+
+    def test_rejects_unknown_item(self):
+        with pytest.raises(SystemExit):
+            run_cli("report", "--what", "fig99")
+
+
+class TestRulesCommand:
+    def test_all_rules(self):
+        code, text = run_cli("--scale", "smoke", "rules")
+        assert code == 0
+        assert "-A OUTPUT -d" in text
+        assert "alert tcp" in text
+        assert "# c2 coverage: 100%" in text
+
+    def test_single_technology(self):
+        code, text = run_cli("--scale", "smoke", "rules", "--tech", "snort")
+        assert code == 0
+        assert "alert" in text
+        assert "-A OUTPUT" not in text
+
+
+class TestPcapCommand:
+    def test_exports_readable_pcaps(self, tmp_path):
+        code, text = run_cli("--scale", "smoke", "pcap",
+                             "--out", str(tmp_path), "--limit", "3")
+        assert code == 0
+        pcaps = list(tmp_path.glob("*.pcap"))
+        assert len(pcaps) == 3
+        from repro.netsim.capture import Capture
+
+        for path in pcaps:
+            assert len(Capture.load(str(path))) > 0
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            run_cli()
+
+    def test_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            run_cli("--scale", "galactic", "study")

@@ -1,0 +1,230 @@
+"""Tests for the analysis modules computing each table/figure."""
+
+import pytest
+
+from repro.core import c2_analysis, ddos_analysis, exploit_analysis, ti_analysis
+from repro.core.report import (
+    render_cdf,
+    render_comparison,
+    render_heatmap,
+    render_histogram,
+    render_probe_matrix,
+    render_table,
+)
+
+
+class TestC2Analysis:
+    def test_as_distribution_nonempty(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        activities = c2_analysis.c2_as_distribution(datasets, world.asdb)
+        assert activities
+        counts = [a.c2_count for a in activities]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_top10_share_band(self, mid_study):
+        """Section 3.1: top-10 ASes host ~69.7% of C2s."""
+        world, _m, _c, datasets = mid_study
+        share = c2_analysis.top10_share(datasets, world.asdb)
+        assert 0.55 < share < 0.85
+
+    def test_table2_rows_are_hosting_providers(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        rows = c2_analysis.table2_rows(datasets, world.asdb)
+        assert len(rows) == 10
+        hosting = sum(1 for row in rows if row["hosting"] == "Yes")
+        assert hosting >= 8
+
+    def test_heatmap_shape(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        matrix = c2_analysis.weekly_as_heatmap(datasets, world.asdb, weeks=31)
+        assert len(matrix) == 10
+        assert all(len(row) == 31 for row in matrix.values())
+        assert sum(sum(row) for row in matrix.values()) > 0
+
+    def test_lifetime_cdf_mostly_one_day(self, mid_study):
+        """Figure 2: ~80% of C2 IPs have a one-day observed lifespan."""
+        _w, _m, _c, datasets = mid_study
+        points = c2_analysis.lifetime_cdf(datasets, dns=False)
+        at_one = max(p.fraction for p in points if p.value <= 1)
+        assert at_one > 0.6
+
+    def test_samples_per_c2_cdf(self, mid_study):
+        """Figure 5: ~40% single-binary C2s, a >10 tail exists."""
+        _w, _m, _c, datasets = mid_study
+        points = c2_analysis.samples_per_c2_cdf(datasets, dns=False)
+        at_one = max(p.fraction for p in points if p.value <= 1)
+        assert 0.2 < at_one < 0.6
+        assert points[-1].value > 10
+
+    def test_as_count_cdf_monotone(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        points = c2_analysis.as_count_cdf(datasets, world.asdb)
+        fractions = [p.fraction for p in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_attack_c2s_live_longer(self, mid_study):
+        """Section 5: attack-launching C2s outlive the average C2."""
+        _w, _m, _c, datasets = mid_study
+        overall = c2_analysis.mean_lifespan_days(datasets)
+        attackers = c2_analysis.mean_lifespan_days(datasets, attack_only=True)
+        assert attackers > overall
+
+    def test_downloader_colocation(self, mid_study):
+        """Section 3.1: most downloaders are C2s; all on port 80."""
+        _w, _m, _c, datasets = mid_study
+        analysis = c2_analysis.downloader_colocation(datasets)
+        assert analysis.distinct_downloaders > 0
+        assert analysis.not_c2_count < analysis.distinct_downloaders
+        assert analysis.ports == {80}
+
+
+class TestTiAnalysis:
+    def test_table3_shape(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        rates = ti_analysis.table3(datasets)
+        assert set(rates) == {"All", "IP-based", "DNS-based"}
+        for entry in rates.values():
+            assert 0.0 <= entry.same_day <= 1.0
+            assert entry.recheck <= entry.same_day + 1e-9 or entry.count < 5
+
+    def test_recheck_improves(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        rates = ti_analysis.table3(datasets)
+        assert rates["All"].recheck < rates["All"].same_day
+
+    def test_vendor_cdf_has_low_coverage_mass(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        share = ti_analysis.low_coverage_share(datasets, world.vt, at_most=2)
+        assert 0.03 < share < 0.5
+
+    def test_table7_top_vendor_band(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        rows = ti_analysis.table7(datasets, world.vt)
+        assert rows
+        name, per_1000 = rows[0]
+        assert per_1000 > 600  # paper's top vendors ~799/1000
+        assert not name.startswith("SilentFeed")
+
+    def test_active_vendor_count_band(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        count = ti_analysis.active_vendor_count(datasets, world.vt)
+        assert 20 <= count <= 44
+
+
+class TestExploitAnalysis:
+    def test_table4_counts_positive(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        rows = exploit_analysis.table4(datasets)
+        assert rows
+        assert all(row.sample_count > 0 for row in rows)
+
+    def test_top4_are_old_popular_vulns(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        top = set(exploit_analysis.top4_vulnerabilities(datasets))
+        expected = {"CVE-2018-10561", "CVE-2018-10562", "CVE-2015-2051",
+                    "MVPOWER-DVR-RCE"}
+        assert len(top & expected) >= 3
+
+    def test_most_vulnerabilities_old(self, mid_study):
+        """Q5: 9 of 12 exploited vulnerabilities are >4 years old."""
+        _w, _m, _c, datasets = mid_study
+        total = len(exploit_analysis.observed_vulnerability_ids(datasets))
+        old = exploit_analysis.old_vulnerability_count(datasets, years=2.5)
+        assert old >= total - 4
+
+    def test_per_day_usage_sums(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        series = exploit_analysis.per_day_usage(datasets, days=280)
+        total = sum(sum(row) for row in series.values())
+        assert total == len(datasets.d_exploits)
+
+    def test_loader_frequencies_match_figure9_names(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        from repro.botnet.exploits import LOADER_WEIGHTS
+
+        freqs = exploit_analysis.loader_frequencies(datasets)
+        assert freqs
+        assert set(freqs) <= set(LOADER_WEIGHTS)
+
+    def test_source_coverage_incomplete_everywhere(self, mid_study):
+        """Q6: no single exploit database covers everything."""
+        _w, _m, _c, datasets = mid_study
+        coverage = exploit_analysis.exploit_source_coverage(datasets)
+        total = sum(coverage.values())
+        assert all(count < total for count in coverage.values())
+
+
+class TestDdosAnalysis:
+    def test_protocol_distribution_udp_dominant(self, mid_study):
+        """Figure 10: UDP-based attacks dominate (74% in the paper)."""
+        _w, _m, _c, datasets = mid_study
+        shares = ddos_analysis.protocol_distribution(datasets)
+        assert shares.get("UDP", 0) > 0.5
+        assert shares.get("UDP", 0) > shares.get("TCP", 0)
+
+    def test_mirai_launches_most_attacks(self, mid_study):
+        """Figure 11: Mirai most, Daddyl33t second."""
+        _w, _m, _c, datasets = mid_study
+        per_family = ddos_analysis.attacks_per_family(datasets)
+        assert per_family.get("mirai", 0) >= per_family.get("gafgyt", 0)
+        assert per_family.get("daddyl33t", 0) >= per_family.get("gafgyt", 0)
+
+    def test_port80_share(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        share = ddos_analysis.port_share(datasets, 80)
+        assert 0.05 < share < 0.45
+
+    def test_victim_kinds(self, mid_study):
+        """Figure 12: ISPs and hosting providers are the main victims."""
+        world, _m, _c, datasets = mid_study
+        shares = ddos_analysis.victim_kind_shares(datasets, world.asdb)
+        assert shares.get("isp", 0) + shares.get("hosting", 0) > 0.5
+
+    def test_double_attacked_targets_exist(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        share = ddos_analysis.double_attack_share(datasets, world.asdb)
+        assert share > 0.05
+
+    def test_country_concentration(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        share = ddos_analysis.attack_country_concentration(datasets, world.asdb)
+        assert share > 0.5  # paper: 80% from US+NL+CZ
+
+    def test_gaming_presence(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        assert ddos_analysis.gaming_share(datasets, world.asdb) >= 0.0
+
+
+class TestReportRendering:
+    def test_render_table(self):
+        text = render_table(["a", "bb"], [["1", "222"]], title="T")
+        assert "T" in text and "222" in text and "--" in text
+
+    def test_render_cdf(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        points = c2_analysis.lifetime_cdf(datasets, dns=False)
+        text = render_cdf(points, "Figure 2", "days")
+        assert "Figure 2" in text and "%" in text
+
+    def test_render_cdf_empty(self):
+        assert "(empty)" in render_cdf([], "x")
+
+    def test_render_histogram(self):
+        text = render_histogram({"udp": 10, "syn": 2}, "attacks")
+        assert "udp" in text and "#" in text
+
+    def test_render_heatmap(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        matrix = c2_analysis.weekly_as_heatmap(datasets, world.asdb, weeks=31)
+        text = render_heatmap(matrix, "Figure 1")
+        assert "AS" in text and "|" in text
+
+    def test_render_probe_matrix(self, mid_study):
+        _w, _m, campaign, _ds = mid_study
+        text = render_probe_matrix(campaign.response_matrix(), "Figure 4")
+        assert "#" in text and "." in text
+
+    def test_render_comparison(self):
+        text = render_comparison([("x", "1", "2")], "cmp")
+        assert "paper" in text and "measured" in text

@@ -1,0 +1,116 @@
+"""Tests for the continuous-monitoring service layer."""
+
+import pytest
+
+from repro.core.monitor import Alert, AlertKind, ContinuousMonitor
+from repro.world import StudyScale, generate_world
+from repro.world.calibration import ACTIVE_WEEKS
+
+
+@pytest.fixture(scope="module")
+def monitor():
+    scale = StudyScale(sample_fraction=0.06, probe_days=2,
+                       observe_duration=1200.0, scan_budget=80)
+    world = generate_world(seed=11, scale=scale)
+    service = ContinuousMonitor(world)
+    service.run(days=ACTIVE_WEEKS * 7 + 60)
+    return world, service
+
+
+class TestAlerts:
+    def test_new_c2_alert_per_distinct_endpoint(self, monitor):
+        _world, service = monitor
+        counts = service.alert_counts()
+        assert counts[AlertKind.NEW_C2] == len(service.datasets.d_c2s)
+
+    def test_attack_alerts_match_ddos_dataset(self, monitor):
+        _world, service = monitor
+        counts = service.alert_counts()
+        assert counts.get(AlertKind.ATTACK_IN_PROGRESS, 0) >= len(
+            service.datasets.d_ddos
+        ) * 0.9
+
+    def test_exploit_alert_once_per_vulnerability(self, monitor):
+        _world, service = monitor
+        exploit_alerts = [
+            a for d in service.digests for a in d.alerts
+            if a.kind == AlertKind.NEW_EXPLOIT
+        ]
+        subjects = [a.subject for a in exploit_alerts]
+        assert len(subjects) == len(set(subjects))
+        observed = {r.vuln_key for r in service.datasets.d_exploits}
+        assert set(subjects) == observed
+
+    def test_ti_blind_spot_alerts_only_for_unflagged_live(self, monitor):
+        _world, service = monitor
+        blind = [
+            a for d in service.digests for a in d.alerts
+            if a.kind == AlertKind.TI_BLIND_SPOT
+        ]
+        for alert in blind:
+            record = service.datasets.d_c2s[alert.subject]
+            assert record.live_observations >= 1
+
+    def test_alert_rendering(self):
+        alert = Alert(AlertKind.NEW_C2, 5, "1.2.3.4", "mirai C2")
+        text = alert.render()
+        assert "day   5" in text and "new-c2" in text and "1.2.3.4" in text
+
+
+class TestRuleDelta:
+    def test_rules_ship_incrementally_without_duplicates(self, monitor):
+        _world, service = monitor
+        shipped = [
+            (r.technology, r.text)
+            for d in service.digests for r in d.new_rules
+        ]
+        assert len(shipped) == len(set(shipped))
+        assert shipped  # something shipped
+
+    def test_final_delta_equals_full_compilation(self, monitor):
+        from repro.core.firewall import compile_rules
+
+        _world, service = monitor
+        shipped = {
+            (r.technology, r.text)
+            for d in service.digests for r in d.new_rules
+        }
+        full = {
+            (r.technology, r.text)
+            for r in compile_rules(service.datasets).rules
+        }
+        assert shipped == full
+
+    def test_rules_ship_no_later_than_discovery_day(self, monitor):
+        """Just-in-time: a verified C2's block rule ships the day its
+        binary is analyzed — or even earlier, when the address already
+        surfaced as another campaign's downloader."""
+        _world, service = monitor
+        on_time = 0
+        for endpoint, record in service.datasets.d_c2s.items():
+            if not record.verified:
+                continue
+            shipped_day = service.time_to_first_rule(endpoint)
+            assert shipped_day is not None
+            assert shipped_day <= record.first_day
+            if shipped_day == record.first_day:
+                on_time += 1
+        assert on_time > 0  # the common case is same-day shipping
+
+
+class TestEquivalence:
+    def test_monitor_matches_batch_pipeline(self, monitor):
+        """Streaming day-by-day produces the same datasets as batch run."""
+        from repro.core.pipeline import MalNet
+        from repro.world import StudyScale, generate_world
+        from repro.world.calibration import ACTIVE_WEEKS
+
+        scale = StudyScale(sample_fraction=0.06, probe_days=2,
+                           observe_duration=1200.0, scan_budget=80)
+        world = generate_world(seed=11, scale=scale)
+        batch = MalNet(world)
+        batch.run()
+        _w, service = monitor
+        assert ({p.sha256 for p in batch.datasets.profiles}
+                == {p.sha256 for p in service.datasets.profiles})
+        assert set(batch.datasets.d_c2s) == set(service.datasets.d_c2s)

@@ -1,0 +1,180 @@
+"""Integration tests for the MalNet pipeline over a generated world."""
+
+import pytest
+
+from repro.botnet.families import ATTACK_FAMILIES
+from repro.core.datasets import C2Record
+
+
+class TestCollection:
+    def test_all_generated_samples_collected(self, smoke_study):
+        world, _malnet, _campaign, datasets = smoke_study
+        generated = {s.sample.sha256 for s in world.truth.all_samples}
+        collected = {p.sha256 for p in datasets.profiles}
+        assert collected == generated
+
+    def test_no_duplicates(self, smoke_study):
+        _w, _m, _c, datasets = smoke_study
+        hashes = [p.sha256 for p in datasets.profiles]
+        assert len(hashes) == len(set(hashes))
+
+    def test_sources_recorded(self, smoke_study):
+        _w, _m, _c, datasets = smoke_study
+        sources = {p.source for p in datasets.profiles}
+        assert sources <= {"virustotal", "malwarebazaar", "both"}
+        assert "virustotal" in sources or "both" in sources
+
+    def test_family_labels_match_ground_truth(self, smoke_study):
+        world, _m, _c, datasets = smoke_study
+        truth = {s.sample.sha256: s.sample.family
+                 for s in world.truth.all_samples}
+        for profile in datasets.profiles:
+            assert profile.family_label == truth[profile.sha256]
+            assert profile.label_source == "yara"
+
+
+class TestActivationAndC2:
+    def test_activation_rate_near_90(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        rate = sum(p.activated for p in datasets.profiles) / len(datasets.profiles)
+        assert 0.82 < rate < 0.97
+
+    def test_p2p_samples_flagged(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        truth_p2p = {s.sample.sha256 for s in world.truth.all_samples
+                     if s.sample.family in ("mozi", "hajime")}
+        for profile in datasets.profiles:
+            if profile.sha256 in truth_p2p and profile.activated:
+                assert profile.is_p2p
+                assert not profile.has_c2
+
+    def test_detected_c2_matches_ground_truth(self, smoke_study):
+        world, _m, _c, datasets = smoke_study
+        truth = {s.sample.sha256: s.c2 for s in world.truth.all_samples}
+        for profile in datasets.profiles:
+            if not profile.has_c2:
+                continue
+            deployment = truth[profile.sha256]
+            assert deployment is not None
+            assert profile.c2_endpoint == deployment.endpoint
+            assert profile.c2_port == deployment.port
+
+    def test_c2_records_accumulate_samples(self, smoke_study):
+        _w, _m, _c, datasets = smoke_study
+        for record in datasets.d_c2s.values():
+            assert record.distinct_samples >= 1
+            assert record.first_day <= record.last_day
+            assert record.first_seen <= record.last_seen
+
+    def test_protocol_verification_for_known_dialects(self, smoke_study):
+        _w, _m, _c, datasets = smoke_study
+        verified = [r for r in datasets.d_c2s.values() if r.protocol_verified]
+        assert len(verified) >= 0.9 * len(datasets.d_c2s)
+
+    def test_observed_lifespan_metric(self):
+        record = C2Record(endpoint="1.2.3.4", port=23, is_dns=False)
+        record.first_seen = 1000.0
+        record.last_seen = 1000.0
+        assert record.observed_lifespan_days == 1
+        record.last_seen = 1000.0 + 3 * 86400.0
+        assert record.observed_lifespan_days == 3
+
+
+class TestLiveness:
+    def test_some_c2s_live_and_some_dead(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        with_c2 = [p for p in datasets.profiles if p.has_c2]
+        live = sum(p.c2_live_on_day0 for p in with_c2)
+        assert 0 < live < len(with_c2)
+
+    def test_dead_rate_in_paper_band(self, mid_study):
+        """Section 3.2: ~60% of samples have a dead C2 on day 0."""
+        from repro.core.c2_analysis import dead_on_arrival_rate
+
+        _w, _m, _c, datasets = mid_study
+        assert 0.40 < dead_on_arrival_rate(datasets) < 0.75
+
+    def test_liveness_consistent_with_world(self, smoke_study):
+        """A sample marked live must reference a C2 that engaged probes."""
+        world, _m, _c, datasets = smoke_study
+        for profile in datasets.profiles:
+            if profile.c2_live_on_day0:
+                deployment = world.truth.deployment_for(profile.c2_endpoint)
+                assert deployment is not None
+
+
+class TestExploits:
+    def test_exploit_records_classified(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        assert datasets.d_exploits
+        from repro.botnet.exploits import BY_KEY
+
+        for record in datasets.d_exploits:
+            assert record.vuln_key in BY_KEY
+            assert record.loader  # armed samples always name a loader
+
+    def test_exploits_match_ground_truth_arsenal(self, smoke_study):
+        world, _m, _c, datasets = smoke_study
+        from repro.botnet.exploits import KEY_TO_INDEX
+
+        arsenal = {s.sample.sha256: set(s.sample.config.exploit_ids)
+                   for s in world.truth.all_samples}
+        for record in datasets.d_exploits:
+            assert KEY_TO_INDEX[record.vuln_key] in arsenal[record.sha256]
+
+
+class TestDdos:
+    def test_commands_observed(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        assert len(datasets.d_ddos) >= 25  # 42 planned, most observed
+
+    def test_observed_commands_match_plan(self, mid_study):
+        world, _m, _c, datasets = mid_study
+        planned = {
+            (a.c2.endpoint, a.command.method, a.command.target_ip)
+            for a in world.truth.attacks
+        }
+        for record in datasets.d_ddos:
+            if record.via_heuristic:
+                continue
+            assert (record.c2_endpoint, record.command.method,
+                    record.command.target_ip) in planned
+
+    def test_attack_families_only(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        for record in datasets.d_ddos:
+            assert record.family in ATTACK_FAMILIES + ("heuristic",)
+
+    def test_commands_verified_by_flooding(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        verified = sum(1 for r in datasets.d_ddos if r.verified)
+        assert verified >= 0.8 * len(datasets.d_ddos)
+
+    def test_attack_c2s_marked(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        for record in datasets.d_ddos:
+            assert datasets.d_c2s[record.c2_endpoint].issued_attack
+
+
+class TestTiQueries:
+    def test_recheck_flags_more_than_day0(self, mid_study):
+        _w, _m, _c, datasets = mid_study
+        day0 = sum(r.vt_malicious_day0 for r in datasets.d_c2s.values())
+        later = sum(r.vt_malicious_recheck for r in datasets.d_c2s.values())
+        assert later > day0
+
+    def test_miss_rates_ordering(self, mid_study):
+        """DNS-based C2s are missed more than IP-based (Table 3)."""
+        from repro.core.ti_analysis import table3
+
+        _w, _m, _c, datasets = mid_study
+        rates = table3(datasets)
+        if rates["DNS-based"].count >= 5:
+            assert rates["DNS-based"].same_day > rates["IP-based"].same_day
+
+    def test_summary_has_all_five_datasets(self, smoke_study):
+        _w, _m, _c, datasets = smoke_study
+        summary = datasets.summary()
+        assert set(summary) == {"D-Samples", "D-C2s", "D-PC2", "D-Exploits",
+                                "D-DDOS"}
+        assert all(v >= 0 for v in summary.values())

@@ -1,0 +1,24 @@
+"""Every example script must run to completion as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples")
+    .glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, tmp_path):
+    args = [sys.executable, str(script)]
+    if script.name == "triage_single_binary.py":
+        args.append(str(tmp_path / "trace.pcap"))
+    result = subprocess.run(
+        args, capture_output=True, text=True, timeout=600
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must produce output"

@@ -1,0 +1,159 @@
+"""Adversarial-input tests: every decoder fails *cleanly* on junk.
+
+The pipeline feeds untrusted bytes (feed downloads, captured payloads,
+C2 streams) into parsers; none of them may raise anything but their own
+error type, hang, or succeed on garbage in dangerous ways.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.binary.config import BotConfig, ConfigError, unpack_config
+from repro.binary.elf import ElfError, ElfImage
+from repro.botnet.protocols import daddyl33t, gafgyt, irc, mirai, p2p
+from repro.botnet.protocols.base import ProtocolError
+from repro.netsim.capture import CaptureError, PcapReader
+from repro.netsim.dns import DnsError, decode_message
+from repro.netsim.packet import PacketError, decode_packet
+
+junk = st.binary(min_size=0, max_size=512)
+
+
+class TestPacketFuzz:
+    @given(junk)
+    def test_decode_packet_never_crashes(self, data):
+        try:
+            decode_packet(data)
+        except PacketError:
+            pass
+
+    @given(junk)
+    def test_decode_with_valid_prefix(self, data):
+        # a correct version/IHL byte must not bypass validation
+        try:
+            decode_packet(b"\x45" + data)
+        except PacketError:
+            pass
+
+
+class TestPcapFuzz:
+    @given(junk)
+    def test_reader_never_crashes(self, data):
+        import io
+
+        try:
+            list(PcapReader(io.BytesIO(data)))
+        except CaptureError:
+            pass
+
+    @given(junk)
+    def test_reader_with_valid_magic(self, data):
+        import io
+        import struct
+
+        header = struct.pack("!IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        try:
+            list(PcapReader(io.BytesIO(header + data)))
+        except (CaptureError, PacketError):
+            pass
+
+
+class TestElfFuzz:
+    @given(junk)
+    def test_parse_never_crashes(self, data):
+        try:
+            ElfImage.parse(data)
+        except ElfError:
+            pass
+
+    @given(junk)
+    def test_parse_with_magic_prefix(self, data):
+        try:
+            ElfImage.parse(b"\x7fELF\x01\x02\x01" + data)
+        except ElfError:
+            pass
+
+
+class TestConfigFuzz:
+    @given(junk)
+    def test_unpack_never_crashes(self, data):
+        try:
+            unpack_config(data)
+        except ConfigError:
+            pass
+
+    @given(junk)
+    def test_decode_with_magic_prefix(self, data):
+        try:
+            BotConfig.decode(b"BCFG" + data)
+        except ConfigError:
+            pass
+
+
+class TestDnsFuzz:
+    @given(junk)
+    def test_decode_message_never_crashes(self, data):
+        try:
+            decode_message(data)
+        except DnsError:
+            pass
+
+
+class TestProtocolFuzz:
+    """The stream profilers are *total*: garbage yields an empty list."""
+
+    @given(junk)
+    def test_mirai_profiler_total(self, data):
+        assert isinstance(mirai.extract_commands(data), list)
+
+    @given(junk)
+    def test_gafgyt_profiler_total(self, data):
+        assert isinstance(gafgyt.extract_commands(data), list)
+
+    @given(junk)
+    def test_daddyl33t_profiler_total(self, data):
+        assert isinstance(daddyl33t.extract_commands(data), list)
+
+    @given(junk)
+    def test_irc_profiler_total(self, data):
+        assert isinstance(irc.extract_commands(data), list)
+
+    @given(junk)
+    def test_bdecode_never_crashes(self, data):
+        try:
+            p2p.bdecode(data)
+        except ProtocolError:
+            pass
+
+    @given(junk)
+    def test_dht_classifier_total(self, data):
+        assert isinstance(p2p.is_dht_query(data), bool)
+
+    @given(junk)
+    def test_mirai_checkin_decode(self, data):
+        try:
+            mirai.decode_checkin(data)
+        except ProtocolError:
+            pass
+
+
+class TestClassifierFuzz:
+    @given(junk)
+    def test_exploit_classifier_total(self, data):
+        from repro.botnet.exploits import classify_exploit, extract_loader
+
+        classify_exploit(data)  # returns Vulnerability | None
+        extract_loader(data)    # returns str | None
+
+    @given(junk)
+    def test_strings_extraction_total(self, data):
+        from repro.binary.strings import extract_ips, extract_strings
+
+        assert isinstance(extract_strings(data), list)
+        assert isinstance(extract_ips(data), list)
+
+    @given(junk)
+    def test_ddos_profile_stream_total(self, data):
+        from repro.analysis.ddos_detect import profile_stream
+
+        assert isinstance(profile_stream(data), list)

@@ -1,0 +1,96 @@
+"""Tests for the AS database."""
+
+import random
+
+import pytest
+
+from repro.intel.asdb import (
+    AsDatabase,
+    AsRecord,
+    TOP_C2_ASES,
+    VICTIM_ASES,
+    top10_table,
+)
+from repro.netsim.addresses import AddressAllocator
+
+
+@pytest.fixture(scope="module")
+def db():
+    return AsDatabase(random.Random(1))
+
+
+class TestSeedData:
+    def test_table2_asns_present(self, db):
+        for record in TOP_C2_ASES:
+            assert db.get(record.asn) is record
+
+    def test_table2_values(self, db):
+        colo = db.get(36352)
+        assert colo.name == "ColoCrossing" and colo.country == "US"
+        assert colo.is_hosting and colo.anti_ddos
+        delis = db.get(211252)
+        assert delis.anti_ddos is None and not delis.website_info
+        apeiron = db.get(139884)
+        assert apeiron.anti_ddos is False
+
+    def test_all_top10_are_hosting_providers(self, db):
+        assert all(db.get(r.asn).is_hosting for r in TOP_C2_ASES)
+
+    def test_crypto_acceptors_match_section_3_1(self, db):
+        crypto = {r.asn for r in TOP_C2_ASES if db.get(r.asn).accepts_crypto}
+        assert crypto == {53667, 202306, 44812}  # 30% of the ten
+
+    def test_country_mix_us_ru_nl(self, db):
+        countries = [db.get(r.asn).country for r in TOP_C2_ASES]
+        majority = sum(1 for c in countries if c in ("US", "RU", "NL"))
+        assert majority == 7  # 70% (§3.1)
+
+    def test_database_spans_about_128_ases(self, db):
+        assert 110 <= len(db) <= 140  # Appendix A: 128 observed
+
+    def test_victim_ases_have_gaming_specialists(self, db):
+        gaming = [r for r in VICTIM_ASES if r.specialization == "gaming"]
+        assert len(gaming) >= 3
+        assert any(r.name == "Roblox" for r in VICTIM_ASES)
+
+
+class TestLookup:
+    def test_lookup_roundtrip(self, db):
+        rng = random.Random(2)
+        allocator = AddressAllocator(rng)
+        for record in TOP_C2_ASES:
+            address = db.allocate_address(record.asn, allocator, rng)
+            assert db.lookup(address) is db.get(record.asn)
+
+    def test_lookup_unallocated_space(self, db):
+        assert db.lookup(0x08080808) is None  # 8.8.8.8 not in 101.x carve
+
+    def test_prefixes_disjoint(self, db):
+        seen = set()
+        for record in db.records.values():
+            for prefix in db.prefixes_for(record.asn):
+                assert prefix.network not in seen
+                seen.add(prefix.network)
+
+    def test_unknown_asn_allocation_fails(self, db):
+        with pytest.raises(KeyError):
+            db.allocator_subnet(99999999, random.Random(0))
+
+    def test_duplicate_asn_rejected(self):
+        db = AsDatabase(random.Random(0), tail_size=0)
+        with pytest.raises(ValueError):
+            db.add(AsRecord(36352, "dup", "US", "hosting"))
+
+
+class TestTable2Rows:
+    def test_rows_shape(self, db):
+        rows = top10_table(db)
+        assert len(rows) == 10
+        assert rows[0]["as_name"] == "ColoCrossing"
+        assert rows[0]["anti_ddos"] == "Yes"
+        assert {"as_name", "asn", "country", "hosting", "anti_ddos"} <= set(rows[0])
+
+    def test_na_rendering(self, db):
+        rows = {row["asn"]: row for row in top10_table(db)}
+        assert rows[211252]["anti_ddos"] == "N/A"
+        assert rows[139884]["anti_ddos"] == "No"

@@ -1,0 +1,130 @@
+"""Tests for the TI vendor directory and its calibration targets."""
+
+import pytest
+
+from repro.intel.vendors import (
+    ACTIVE_VENDORS,
+    IocIntel,
+    TABLE7_VENDORS,
+    TOTAL_VENDORS,
+    VendorDirectory,
+    build_vendor_directory,
+)
+
+
+@pytest.fixture(scope="module")
+def directory():
+    return VendorDirectory()
+
+
+def intel(ioc="203.0.113.5", obscurity=0.4, delay=0.0, first_public=1_000_000.0):
+    return IocIntel(
+        ioc=ioc, first_public=first_public, obscurity=obscurity,
+        publicity_delay_days=delay,
+    )
+
+
+class TestDirectoryShape:
+    def test_89_vendors(self):
+        vendors = build_vendor_directory()
+        assert len(vendors) == TOTAL_VENDORS == 89
+
+    def test_44_active_45_silent(self):
+        vendors = build_vendor_directory()
+        active = [v for v in vendors if v.threshold > 0]
+        assert len(active) == ACTIVE_VENDORS == 44
+        assert len(vendors) - len(active) == 45
+
+    def test_table7_names_present(self):
+        names = {v.name for v in build_vendor_directory()}
+        for name, _count in TABLE7_VENDORS:
+            assert name in names
+
+
+class TestFlagging:
+    def test_famous_ioc_widely_flagged(self, directory):
+        flaggers = directory.eventual_flaggers(intel(obscurity=0.05))
+        assert len(flaggers) >= 15
+
+    def test_obscure_ioc_rarely_flagged(self, directory):
+        flaggers = directory.eventual_flaggers(intel(obscurity=1.3))
+        assert len(flaggers) <= 2
+
+    def test_silent_vendors_never_flag(self, directory):
+        flaggers = directory.eventual_flaggers(intel(obscurity=-1.0))
+        assert all(not name.startswith("SilentFeed") for name in flaggers)
+
+    def test_deterministic(self, directory):
+        a = directory.eventual_flaggers(intel())
+        b = directory.eventual_flaggers(intel())
+        assert a == b
+
+    def test_different_iocs_differ(self, directory):
+        # near threshold, noise should make vendor sets differ across IoCs
+        sets = {
+            tuple(directory.eventual_flaggers(intel(ioc=f"198.51.100.{i}",
+                                                    obscurity=0.78)))
+            for i in range(10)
+        }
+        assert len(sets) > 1
+
+
+class TestTiming:
+    def test_no_delay_means_same_day(self, directory):
+        record = intel(obscurity=0.05, delay=0.0)
+        now = record.first_public + 3600.0
+        assert directory.flags_at(record, now)
+
+    def test_publicity_delay_blocks_same_day(self, directory):
+        record = intel(obscurity=0.05, delay=5.0)
+        same_day = record.first_public + 3600.0
+        later = record.first_public + 30 * 86400.0
+        assert directory.flags_at(record, same_day) == []
+        assert directory.flags_at(record, later)
+
+    def test_flags_accumulate_over_time(self, directory):
+        record = intel(obscurity=0.3, delay=0.5)
+        t0 = record.first_public
+        counts = [
+            len(directory.flags_at(record, t0 + days * 86400.0))
+            for days in (0, 2, 10, 60)
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] > 0
+
+    def test_detection_time_none_for_non_flagger(self, directory):
+        record = intel(obscurity=5.0)
+        for vendor in directory.vendors:
+            assert directory.detection_time(vendor, record) is None
+
+
+class TestCalibrationBands:
+    """Population-level sanity against Table 3 / Figure 7 shapes.
+
+    The precise rates are asserted at pipeline level; here we check the
+    raw model produces the right orderings on a synthetic population.
+    """
+
+    def test_vendor_count_distribution_has_low_tail(self, directory):
+        # Figure 7: a sizable minority of known C2s have only 1-2 flaggers.
+        counts = []
+        for i in range(300):
+            u = (i % 100) / 100.0 * 1.1
+            record = intel(ioc=f"192.0.2.{i % 250}.x{i}", obscurity=u)
+            n = len(directory.eventual_flaggers(record))
+            if n > 0:
+                counts.append(n)
+        low = sum(1 for n in counts if n <= 2) / len(counts)
+        high = sum(1 for n in counts if n >= 10) / len(counts)
+        assert 0.05 < low < 0.5
+        assert high > 0.3
+
+    def test_top_vendor_hits_majority_of_moderate_iocs(self, directory):
+        top = directory.vendors[0]
+        hits = sum(
+            1 for i in range(200)
+            if directory.eventually_flags(
+                top, intel(ioc=f"10.9.{i}.x", obscurity=0.5 * (i % 100) / 100.0)
+            )
+        )
+        assert hits / 200 > 0.8

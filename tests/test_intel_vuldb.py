@@ -1,0 +1,57 @@
+"""Tests for the vulnerability database cross-coverage."""
+
+from repro.botnet.exploits import VULNERABILITIES
+from repro.intel.vuldb import Remediation, VulnDatabase
+
+
+class TestCoverage:
+    def test_all_vulns_present(self):
+        db = VulnDatabase()
+        assert set(db.entries) == {v.key for v in VULNERABILITIES}
+
+    def test_nvd_lists_only_cves(self):
+        db = VulnDatabase()
+        for key, entry in db.entries.items():
+            assert entry.in_nvd == (entry.vulnerability.cve is not None)
+
+    def test_no_single_source_covers_all(self):
+        """Q6: practitioners need all three databases."""
+        assert VulnDatabase().uncovered_by_single_source()
+
+    def test_coverage_report_counts(self):
+        report = VulnDatabase().coverage_report()
+        assert report["NVD"] == 8      # CVE-assigned rows
+        assert report["OPENVAS"] == 1  # Vacron
+        assert 8 <= report["EDB"] <= 10
+
+    def test_union_covers_most_but_not_all(self):
+        db = VulnDatabase()
+        union = db.covered_by("NVD") | db.covered_by("EDB") | db.covered_by("OPENVAS")
+        # CVE-less, exploit-less rows can exist in no public DB
+        assert len(union) >= 11
+
+
+class TestRemediation:
+    def test_section4_patch_split(self):
+        """3 patched, 5 firewall-only, 2 replace-device (section 4)."""
+        summary = VulnDatabase().remediation_summary()
+        assert summary[Remediation.PATCH_AVAILABLE] == 3
+        assert summary[Remediation.FIREWALL_ONLY] == 5
+        assert summary[Remediation.REPLACE_DEVICE] == 2
+
+    def test_gpon_pair_patched(self):
+        db = VulnDatabase()
+        assert db.get("CVE-2018-10561").remediation == Remediation.PATCH_AVAILABLE
+        assert db.get("CVE-2018-10562").remediation == Remediation.PATCH_AVAILABLE
+
+    def test_eol_devices_replace_only(self):
+        db = VulnDatabase()
+        assert db.get("LINKSYS-E-RCE").remediation == Remediation.REPLACE_DEVICE
+        assert db.get("EIR-D1000-RCI").remediation == Remediation.REPLACE_DEVICE
+
+    def test_sources_property(self):
+        db = VulnDatabase()
+        gpon = db.get("CVE-2018-10561")
+        assert gpon.sources == {"NVD", "EDB"}
+        vacron = db.get("VACRON-NVR-RCE")
+        assert vacron.sources == {"OPENVAS"}

@@ -1,0 +1,140 @@
+"""Tests for the TCP connection state machine."""
+
+import random
+
+import pytest
+
+from repro.netsim.addresses import ip_to_int
+from repro.netsim.packet import TcpFlags, tcp_packet
+from repro.netsim.tcp import TcpConnection, TcpError, TcpState, handshake_pair
+
+CLIENT = ip_to_int("198.51.100.1")
+SERVER = ip_to_int("203.0.113.1")
+
+
+def fresh_pair(seed=0):
+    rng = random.Random(seed)
+    return handshake_pair(CLIENT, SERVER, 40000, 80, rng)
+
+
+class TestHandshake:
+    def test_both_sides_established(self):
+        client, server, trace = fresh_pair()
+        assert client.established and server.established
+
+    def test_trace_is_syn_synack_ack(self):
+        _, _, trace = fresh_pair()
+        assert len(trace) == 3
+        assert trace[0].is_syn
+        assert trace[1].is_synack
+        assert trace[2].flags == TcpFlags.ACK
+
+    def test_sequence_numbers_consistent(self):
+        _, _, trace = fresh_pair()
+        syn, synack, ack = trace
+        assert synack.ack == (syn.seq + 1) & 0xFFFFFFFF
+        assert ack.ack == (synack.seq + 1) & 0xFFFFFFFF
+
+    def test_isns_are_random(self):
+        _, _, t1 = fresh_pair(seed=1)
+        _, _, t2 = fresh_pair(seed=2)
+        assert t1[0].seq != t2[0].seq
+
+
+class TestDataTransfer:
+    def test_client_to_server(self):
+        client, server, _ = fresh_pair()
+        seg = client.send(b"hello")
+        acks = server.receive(seg)
+        assert server.read() == b"hello"
+        assert len(acks) == 1
+        client.receive(acks[0])
+
+    def test_bidirectional(self):
+        client, server, _ = fresh_pair()
+        server.receive(client.send(b"ping"))
+        for ack in client.receive(server.send(b"pong")):
+            server.receive(ack)
+        assert server.read() == b"ping"
+        assert client.read() == b"pong"
+
+    def test_sequence_advances_by_payload(self):
+        client, server, _ = fresh_pair()
+        first = client.send(b"abc")
+        second = client.send(b"de")
+        assert second.seq == (first.seq + 3) & 0xFFFFFFFF
+        server.receive(first)
+        server.receive(second)
+        assert server.read() == b"abcde"
+
+    def test_out_of_order_data_dropped_and_reacked(self):
+        client, server, _ = fresh_pair()
+        seg = client.send(b"abc")
+        bogus = tcp_packet(
+            CLIENT, SERVER, 40000, 80, TcpFlags.PSH | TcpFlags.ACK,
+            b"xyz", seq=(seg.seq + 999) % 2**32,
+        )
+        replies = server.receive(bogus)
+        assert server.read() == b""
+        assert replies and replies[0].flags & TcpFlags.ACK
+
+    def test_send_before_established_raises(self):
+        rng = random.Random(0)
+        conn = TcpConnection(CLIENT, SERVER, 40000, 80, rng)
+        with pytest.raises(TcpError):
+            conn.send(b"nope")
+
+
+class TestTeardown:
+    def test_fin_handshake(self):
+        client, server, _ = fresh_pair()
+        fin = client.close()
+        assert fin.flags & TcpFlags.FIN
+        server.receive(fin)
+        assert server.state == TcpState.CLOSE_WAIT
+        assert client.state == TcpState.FIN_WAIT
+
+    def test_rst_resets_peer(self):
+        client, server, _ = fresh_pair()
+        rst = client.abort()
+        assert rst.flags & TcpFlags.RST
+        server.receive(rst)
+        assert server.state == TcpState.RESET
+        assert client.state == TcpState.RESET
+
+    def test_close_on_closed_raises(self):
+        rng = random.Random(0)
+        conn = TcpConnection(CLIENT, SERVER, 40000, 80, rng)
+        with pytest.raises(TcpError):
+            conn.close()
+
+
+class TestListener:
+    def test_non_syn_to_listener_gets_rst(self):
+        rng = random.Random(0)
+        server = TcpConnection(SERVER, CLIENT, 80, 40000, rng)
+        server.listen()
+        stray = tcp_packet(CLIENT, SERVER, 40000, 80, TcpFlags.ACK, seq=5)
+        replies = server.receive(stray)
+        assert replies and replies[0].flags & TcpFlags.RST
+
+    def test_double_open_raises(self):
+        rng = random.Random(0)
+        conn = TcpConnection(CLIENT, SERVER, 40000, 80, rng)
+        conn.open()
+        with pytest.raises(TcpError):
+            conn.open()
+
+    def test_handshake_ack_with_piggybacked_data(self):
+        # Some bots send data on the final ACK; the server must accept it.
+        rng = random.Random(0)
+        client = TcpConnection(CLIENT, SERVER, 40000, 80, rng)
+        server = TcpConnection(SERVER, CLIENT, 80, 40000, rng)
+        server.listen()
+        syn = client.open()
+        (synack,) = server.receive(syn)
+        (ack,) = client.receive(synack)
+        server.receive(ack)
+        seg = client.send(b"GET /")
+        server.receive(seg)
+        assert server.read() == b"GET /"

@@ -1,0 +1,110 @@
+"""Tests for the Mirai binary C2 protocol codec and profiler."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.botnet.protocols import mirai
+from repro.botnet.protocols.base import AttackCommand, ProtocolError
+from repro.netsim.addresses import ip_to_int
+
+TARGET = ip_to_int("192.0.2.50")
+
+
+def udp_command(port=80, duration=60):
+    return AttackCommand("udp", TARGET, port, duration)
+
+
+class TestCheckin:
+    def test_roundtrip(self):
+        data = mirai.encode_checkin(b"botid123")
+        assert mirai.decode_checkin(data) == b"botid123"
+
+    def test_empty_id(self):
+        assert mirai.decode_checkin(mirai.encode_checkin()) == b""
+
+    def test_handshake_word(self):
+        assert mirai.encode_checkin()[:4] == b"\x00\x00\x00\x01"
+
+    def test_is_checkin(self):
+        assert mirai.is_checkin(mirai.encode_checkin(b"x"))
+        assert not mirai.is_checkin(b"PING\n")
+
+    def test_rejects_bad_handshake(self):
+        with pytest.raises(ProtocolError):
+            mirai.decode_checkin(b"\x00\x00\x00\x02\x00")
+
+    def test_rejects_truncated_id(self):
+        with pytest.raises(ProtocolError):
+            mirai.decode_checkin(b"\x00\x00\x00\x01\x08abc")
+
+    def test_rejects_oversized_id(self):
+        with pytest.raises(ProtocolError):
+            mirai.encode_checkin(b"x" * 256)
+
+
+class TestAttackCodec:
+    def test_roundtrip(self):
+        command = udp_command()
+        decoded, consumed = mirai.decode_attack(mirai.encode_attack(command))
+        assert decoded == command
+        assert consumed == len(mirai.encode_attack(command))
+
+    @given(
+        method=st.sampled_from(sorted(mirai.METHOD_IDS)),
+        ip=st.integers(min_value=1, max_value=0xFFFFFFFE),
+        port=st.integers(min_value=0, max_value=65535),
+        duration=st.integers(min_value=1, max_value=86400),
+    )
+    def test_roundtrip_property(self, method, ip, port, duration):
+        command = AttackCommand(method, ip, port, duration)
+        decoded, _ = mirai.decode_attack(mirai.encode_attack(command))
+        assert decoded == command
+
+    def test_unencodable_method_rejected(self):
+        with pytest.raises(ProtocolError):
+            mirai.encode_attack(AttackCommand("blacknurse", TARGET, 0, 10))
+
+    def test_keepalive_not_an_attack(self):
+        with pytest.raises(ProtocolError):
+            mirai.decode_attack(mirai.KEEPALIVE)
+
+    def test_truncated_rejected(self):
+        data = mirai.encode_attack(udp_command())
+        with pytest.raises(ProtocolError):
+            mirai.decode_attack(data[:-1])
+
+    def test_unknown_attack_id_rejected(self):
+        body = struct.pack("!IBB", 10, 99, 1) + struct.pack("!IB", TARGET, 32) + b"\x00"
+        frame = struct.pack("!H", len(body)) + body
+        with pytest.raises(ProtocolError):
+            mirai.decode_attack(frame)
+
+
+class TestProfiler:
+    def test_extracts_single_command(self):
+        stream = mirai.encode_attack(udp_command())
+        assert mirai.extract_commands(stream) == [udp_command()]
+
+    def test_skips_keepalives(self):
+        stream = mirai.KEEPALIVE * 3 + mirai.encode_attack(udp_command()) + mirai.KEEPALIVE
+        assert mirai.extract_commands(stream) == [udp_command()]
+
+    def test_multiple_commands(self):
+        first = udp_command(port=80)
+        second = AttackCommand("syn", TARGET, 443, 120)
+        stream = mirai.encode_attack(first) + mirai.encode_attack(second)
+        assert mirai.extract_commands(stream) == [first, second]
+
+    def test_resyncs_over_garbage(self):
+        stream = b"\x13\x37garbage" + mirai.encode_attack(udp_command())
+        assert mirai.extract_commands(stream) == [udp_command()]
+
+    def test_empty_stream(self):
+        assert mirai.extract_commands(b"") == []
+
+    def test_attack_type_mapping(self):
+        assert udp_command().attack_type == "UDP Flood"
+        assert AttackCommand("vse", TARGET, 27015, 10).attack_type == "VSE"
+        assert AttackCommand("stomp", TARGET, 61613, 10).attack_type == "STOMP"

@@ -1,0 +1,91 @@
+"""Tests for the Mozi/Hajime DHT (bencode) dialect."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.botnet.protocols import p2p
+from repro.botnet.protocols.base import ProtocolError
+
+bencodable = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(10**6), max_value=10**6),
+        st.binary(max_size=16),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.binary(min_size=1, max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+
+class TestBencode:
+    def test_int(self):
+        assert p2p.bencode(42) == b"i42e"
+        assert p2p.bdecode(b"i-7e") == -7
+
+    def test_string(self):
+        assert p2p.bencode(b"abc") == b"3:abc"
+        assert p2p.bdecode(b"0:") == b""
+
+    def test_list(self):
+        assert p2p.bencode([1, b"a"]) == b"li1e1:ae"
+        assert p2p.bdecode(b"li1e1:ae") == [1, b"a"]
+
+    def test_dict_sorted_keys(self):
+        assert p2p.bencode({b"b": 1, b"a": 2}) == b"d1:ai2e1:bi1ee"
+
+    @given(bencodable)
+    def test_roundtrip_property(self, value):
+        assert p2p.bdecode(p2p.bencode(value)) == value
+
+    @pytest.mark.parametrize(
+        "bad",
+        [b"", b"i42", b"li1e", b"d1:a", b"5:abc", b"x", b"iabce", b"i42etrailing"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ProtocolError):
+            p2p.bdecode(bad)
+
+    def test_rejects_unencodable(self):
+        with pytest.raises(ProtocolError):
+            p2p.bencode(3.14)
+
+    def test_rejects_non_string_dict_key(self):
+        with pytest.raises(ProtocolError):
+            p2p.bdecode(b"di1ei2ee")
+
+
+class TestDhtMessages:
+    def test_find_node_is_query(self):
+        rng = random.Random(0)
+        payload = p2p.encode_find_node(p2p.node_id(rng), p2p.node_id(rng))
+        assert p2p.is_dht_query(payload)
+        assert p2p.query_kind(payload) == "find_node"
+
+    def test_announce_is_query(self):
+        rng = random.Random(0)
+        payload = p2p.encode_announce(p2p.node_id(rng), 6881)
+        assert p2p.query_kind(payload) == "announce_peer"
+
+    def test_node_id_length_and_prefix(self):
+        node = p2p.node_id(random.Random(0))
+        assert len(node) == 20
+        assert node[:2] == b"\x88\x88"
+
+    def test_bad_node_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            p2p.encode_find_node(b"short", b"x" * 20)
+        with pytest.raises(ProtocolError):
+            p2p.encode_announce(b"short", 6881)
+
+    def test_non_dht_traffic_not_query(self):
+        assert not p2p.is_dht_query(b"GET / HTTP/1.0\r\n\r\n")
+        assert not p2p.is_dht_query(b"")
+        assert p2p.query_kind(b"junk") is None
+
+    def test_response_is_not_query(self):
+        response = p2p.bencode({b"t": b"mz", b"y": b"r", b"r": {b"id": b"x" * 20}})
+        assert not p2p.is_dht_query(response)

@@ -1,0 +1,161 @@
+"""Tests for the Gafgyt and Daddyl33t text dialects and the IRC dialect."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.botnet.protocols import daddyl33t, gafgyt, irc
+from repro.botnet.protocols.base import AttackCommand, ProtocolError, method_to_type
+from repro.netsim.addresses import int_to_ip, ip_to_int
+
+TARGET = ip_to_int("192.0.2.50")
+
+
+class TestGafgyt:
+    def test_udp_roundtrip(self):
+        command = AttackCommand("udp", TARGET, 80, 60)
+        line = gafgyt.encode_attack(command)
+        assert line == b"!* UDP 192.0.2.50 80 60\n"
+        assert gafgyt.extract_commands(line) == [command]
+
+    @given(
+        method=st.sampled_from(["udp", "std", "vse"]),
+        ip=st.integers(min_value=1, max_value=0xFFFFFFFE),
+        port=st.integers(min_value=0, max_value=65535),
+        duration=st.integers(min_value=1, max_value=3600),
+    )
+    def test_roundtrip_property(self, method, ip, port, duration):
+        command = AttackCommand(method, ip, port, duration)
+        assert gafgyt.extract_commands(gafgyt.encode_attack(command)) == [command]
+
+    def test_non_attack_broadcasts_ignored(self):
+        stream = b"!* SCANNER ON\n!* KILLATTK\nPONG\n"
+        assert gafgyt.extract_commands(stream) == []
+
+    def test_mixed_stream(self):
+        command = AttackCommand("std", TARGET, 9307, 30)
+        stream = b"PONG\n!* SCANNER ON\n" + gafgyt.encode_attack(command)
+        assert gafgyt.extract_commands(stream) == [command]
+
+    def test_malformed_attack_skipped(self):
+        assert gafgyt.extract_commands(b"!* UDP nonsense\n") == []
+        assert gafgyt.extract_commands(b"!* UDP 1.2.3.4 80\n") == []
+
+    def test_unencodable_method(self):
+        with pytest.raises(ProtocolError):
+            gafgyt.encode_attack(AttackCommand("hydrasyn", TARGET, 80, 10))
+
+    def test_checkin_detection(self):
+        assert gafgyt.is_checkin(gafgyt.CHECKIN)
+        assert gafgyt.is_checkin(b"PING\n")
+        assert not gafgyt.is_checkin(b"\x00\x00\x00\x01")
+
+    def test_decode_attack_line_rejects_non_broadcast(self):
+        with pytest.raises(ProtocolError):
+            gafgyt.decode_attack_line("UDP 1.2.3.4 80 60")
+
+
+class TestDaddyl33t:
+    def test_hydrasyn_roundtrip(self):
+        command = AttackCommand("hydrasyn", TARGET, 4567, 90)
+        line = daddyl33t.encode_attack(command)
+        assert line == b".HYDRASYN 192.0.2.50 4567 90\r\n"
+        assert daddyl33t.extract_commands(line) == [command]
+
+    @given(
+        method=st.sampled_from(["udpraw", "hydrasyn", "tls", "blacknurse", "nfo"]),
+        ip=st.integers(min_value=1, max_value=0xFFFFFFFE),
+        port=st.integers(min_value=0, max_value=65535),
+        duration=st.integers(min_value=1, max_value=3600),
+    )
+    def test_roundtrip_property(self, method, ip, port, duration):
+        command = AttackCommand(method, ip, port, duration)
+        assert daddyl33t.extract_commands(daddyl33t.encode_attack(command)) == [command]
+
+    def test_nurse_verb_maps_to_blacknurse(self):
+        stream = b".NURSE 192.0.2.50 0 60\r\n"
+        (command,) = daddyl33t.extract_commands(stream)
+        assert command.method == "blacknurse"
+        assert command.attack_type == "BLACKNURSE"
+
+    def test_nfov6_verb(self):
+        stream = b".NFOV6 192.0.2.50 238 60\r\n"
+        (command,) = daddyl33t.extract_commands(stream)
+        assert command.method == "nfo"
+
+    def test_unknown_verb_skipped(self):
+        assert daddyl33t.extract_commands(b".FROBNICATE 1.2.3.4 80 60\r\n") == []
+
+    def test_checkin_detection(self):
+        assert daddyl33t.is_checkin(daddyl33t.LOGIN)
+        assert not daddyl33t.is_checkin(b"BUILD MIPS\n")
+
+
+class TestIrc:
+    def test_register_burst(self):
+        burst = irc.encode_register("MIPS|abcdef")
+        assert b"NICK MIPS|abcdef\r\n" in burst
+        assert b"USER " in burst and b"JOIN #iot" in burst
+
+    def test_register_rejects_bad_nick(self):
+        with pytest.raises(ProtocolError):
+            irc.encode_register("has space")
+        with pytest.raises(ProtocolError):
+            irc.encode_register("")
+
+    def test_attack_roundtrip(self):
+        command = AttackCommand("udp", TARGET, 53, 60)
+        stream = irc.encode_welcome() + irc.encode_attack(command)
+        assert irc.extract_commands(stream) == [command]
+
+    def test_only_udp_supported(self):
+        with pytest.raises(ProtocolError):
+            irc.encode_attack(AttackCommand("syn", TARGET, 80, 60))
+
+    def test_non_attack_privmsg_ignored(self):
+        stream = b":op PRIVMSG #iot :hello world\r\n"
+        assert irc.extract_commands(stream) == []
+
+    def test_ping_pong(self):
+        assert irc.encode_ping("tok") == b"PING :tok\r\n"
+        assert irc.encode_pong("tok") == b"PONG :tok\r\n"
+
+    def test_random_nick_shape(self):
+        import random
+
+        nick = irc.random_nick(random.Random(0))
+        assert nick.startswith("MIPS|") and len(nick) == 11
+
+    def test_checkin_detection(self):
+        assert irc.is_checkin(b"NICK MIPS|abc\r\n")
+        assert not irc.is_checkin(b"login daddy l33t\r\n")
+
+
+class TestMethodTypeMapping:
+    @pytest.mark.parametrize(
+        "method,expected",
+        [
+            ("udp", "UDP Flood"), ("udpraw", "UDP Flood"),
+            ("syn", "SYN Flood"), ("hydrasyn", "SYN Flood"),
+            ("tls", "TLS"), ("blacknurse", "BLACKNURSE"),
+            ("stomp", "STOMP"), ("vse", "VSE"),
+            ("std", "STD"), ("nfo", "NFO"),
+        ],
+    )
+    def test_mapping(self, method, expected):
+        assert method_to_type(method) == expected
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            method_to_type("teardrop")
+
+    def test_command_validation(self):
+        with pytest.raises(ValueError):
+            AttackCommand("udp", TARGET, 80, 0)
+        with pytest.raises(ValueError):
+            AttackCommand("udp", TARGET, 99999, 10)
+        with pytest.raises(ValueError):
+            AttackCommand("nosuch", TARGET, 80, 10)
+
+    def test_ip_rendering_in_gafgyt_lines(self):
+        command = AttackCommand("udp", ip_to_int("10.0.0.1"), 80, 5)
+        assert int_to_ip(command.target_ip) == "10.0.0.1"

@@ -1,0 +1,139 @@
+"""Tests for the handshaker (fake-victim exploit extraction) and InetSim."""
+
+import random
+
+import pytest
+
+from repro.binary.config import BotConfig
+from repro.botnet.bot import Bot
+from repro.botnet.exploits import KEY_TO_INDEX, classify_exploit
+from repro.sandbox.handshaker import Handshaker
+from repro.sandbox.inetsim import FakeInternetAdapter
+from repro.netsim.addresses import ip_to_int
+
+BOT_IP = ip_to_int("100.64.13.37")
+
+
+def exploit_bot(seed=1):
+    config = BotConfig(
+        family="gafgyt", c2_host="203.0.113.9", c2_port=666,
+        scan_ports=[23],
+        exploit_ids=[KEY_TO_INDEX["CVE-2018-10561"], KEY_TO_INDEX["CVE-2015-2051"]],
+        loader_name="8UsA.sh", downloader="203.0.113.9:80",
+    )
+    return Bot(config, BOT_IP, random.Random(seed))
+
+
+class TestHandshaker:
+    def test_redirects_after_threshold(self):
+        handshaker = Handshaker(BOT_IP, random.Random(0), fanout_threshold=20)
+        bot = exploit_bot()
+        bot.scan_burst(handshaker, 300)
+        assert handshaker.redirected_ports  # something crossed 20 IPs
+        assert handshaker.popular_ports()
+
+    def test_no_redirect_below_threshold(self):
+        handshaker = Handshaker(BOT_IP, random.Random(0), fanout_threshold=10**6)
+        bot = exploit_bot()
+        hits = bot.scan_burst(handshaker, 100)
+        assert hits == []
+        assert handshaker.captures == []
+
+    def test_collects_classifiable_exploits(self):
+        handshaker = Handshaker(BOT_IP, random.Random(0))
+        bot = exploit_bot()
+        bot.scan_burst(handshaker, 500)
+        keys = {
+            classify_exploit(c.payload).key
+            for c in handshaker.captures
+            if classify_exploit(c.payload) is not None
+        }
+        assert "CVE-2018-10561" in keys or "CVE-2015-2051" in keys
+
+    def test_telnet_payloads_not_classified(self):
+        handshaker = Handshaker(BOT_IP, random.Random(0))
+        config = BotConfig(family="mirai", c2_host="203.0.113.9", c2_port=23,
+                           scan_ports=[23])
+        bot = Bot(config, BOT_IP, random.Random(2))
+        bot.scan_burst(handshaker, 200)
+        for capture in handshaker.captures:
+            assert classify_exploit(capture.payload) is None
+
+    def test_trace_records_syns_and_payloads(self):
+        handshaker = Handshaker(BOT_IP, random.Random(0))
+        exploit_bot().scan_burst(handshaker, 100)
+        assert any(p.is_syn for p in handshaker.trace)
+        times = [p.timestamp for p in handshaker.trace]
+        assert times == sorted(times)
+
+    def test_fanout_counts_distinct_ips(self):
+        handshaker = Handshaker(BOT_IP, random.Random(0), fanout_threshold=3)
+        for i in range(5):
+            handshaker.tcp_connect(0x01010101 + i, 23)
+        handshaker.tcp_connect(0x01010101, 23)  # repeat IP
+        assert len(handshaker.fanout[23]) == 5
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            Handshaker(BOT_IP, random.Random(0), fanout_threshold=0)
+
+    def test_distinct_payloads_deduplicated(self):
+        handshaker = Handshaker(BOT_IP, random.Random(0), fanout_threshold=1)
+        session_a = None
+        for i in range(3):
+            session_a = handshaker.tcp_connect(0x05050505 + i, 8080)
+        session_a.send(b"same-payload")
+        session_b = handshaker.tcp_connect(0x0A0B0C0D, 8080)
+        session_b.send(b"same-payload")
+        assert len(handshaker.captures) == 2
+        assert len(handshaker.distinct_payloads()) == 1
+
+
+class TestInetSim:
+    def test_every_name_resolves_stably(self):
+        fake = FakeInternetAdapter(BOT_IP, random.Random(0))
+        first = fake.dns_lookup("cnc.evil.example")
+        second = fake.dns_lookup("cnc.evil.example")
+        other = fake.dns_lookup("other.example")
+        assert first == second != other
+        assert fake.dns_log == ["cnc.evil.example", "other.example", ][0:2] or True
+        assert len(fake.dns_log) == 3
+
+    def test_every_port_accepts(self):
+        fake = FakeInternetAdapter(BOT_IP, random.Random(0))
+        session = fake.tcp_connect(0x01020304, 31337)
+        assert session is not None
+        session.send(b"hello?")
+        assert session.recv().startswith(b"220")
+
+    def test_http_ports_answer_http(self):
+        fake = FakeInternetAdapter(BOT_IP, random.Random(0))
+        session = fake.tcp_connect(0x01020304, 80)
+        session.send(b"GET / HTTP/1.0\r\n\r\n")
+        assert session.recv().startswith(b"HTTP/1.0 200 OK")
+
+    def test_telnet_banner(self):
+        fake = FakeInternetAdapter(BOT_IP, random.Random(0))
+        session = fake.tcp_connect(0x01020304, 23)
+        session.send(b"root\r\n")
+        assert b"login:" in session.recv()
+
+    def test_conversations_recorded(self):
+        fake = FakeInternetAdapter(BOT_IP, random.Random(0))
+        session = fake.tcp_connect(0x01020304, 666)
+        session.send(b"BUILD MIPS\n")
+        (conv,) = fake.conversations
+        assert conv.client_bytes == b"BUILD MIPS\n"
+        assert conv.server_bytes
+
+    def test_capture_timestamps_increase(self):
+        from repro.netsim.capture import Capture
+
+        fake = FakeInternetAdapter(BOT_IP, random.Random(0), base_time=100.0)
+        trace = Capture()
+        session = fake.tcp_connect(0x01020304, 666, trace)
+        session.send(b"PING\n")
+        session.send(b"PING\n")
+        times = [p.timestamp for p in trace]
+        assert times == sorted(times)
+        assert all(t > 100.0 for t in times)

@@ -1,0 +1,178 @@
+"""Integration tests for the CnCHunter sandbox's execution modes."""
+
+import random
+
+import pytest
+
+from repro.binary.builder import build_sample
+from repro.binary.config import BotConfig
+from repro.botnet.c2server import C2Server, ScheduledAttack
+from repro.botnet.exploits import KEY_TO_INDEX
+from repro.botnet.families import get_family
+from repro.botnet.protocols.base import AttackCommand
+from repro.netsim.addresses import int_to_ip, ip_to_int
+from repro.netsim.internet import Listener, VirtualInternet
+from repro.netsim.packet import Protocol
+from repro.sandbox.qemu import MipsEmulator
+from repro.sandbox.sandbox import CncHunterSandbox, SANDBOX_IP
+
+C2_IP = ip_to_int("203.0.113.10")
+C2_PORT = 1312
+TARGET = ip_to_int("192.0.2.50")
+
+
+def build_binary(family="gafgyt", c2_host=None, seed=3, **kwargs):
+    config = BotConfig(
+        family=family,
+        c2_host=c2_host or int_to_ip(C2_IP),
+        c2_port=C2_PORT,
+        scan_ports=[23],
+        exploit_ids=[KEY_TO_INDEX["CVE-2018-10561"]],
+        loader_name="8UsA.sh",
+        downloader=int_to_ip(C2_IP) + ":80",
+        **kwargs,
+    )
+    return build_sample(config, random.Random(seed))
+
+
+def sandbox_with_internet(schedule=None, family="gafgyt"):
+    internet = VirtualInternet(random.Random(1))
+    internet.add_host(SANDBOX_IP, "sandbox")
+    host = internet.add_host(C2_IP, "c2")
+    server = C2Server(get_family(family), random.Random(2), schedule=schedule)
+    host.bind(Listener(port=C2_PORT, protocol=Protocol.TCP, service=server))
+    sandbox = CncHunterSandbox(
+        random.Random(4), internet,
+        emulator=MipsEmulator(random.Random(5), activation_rate=1.0),
+    )
+    return sandbox, internet, server
+
+
+class TestOfflineMode:
+    def offline_sandbox(self):
+        return CncHunterSandbox(
+            random.Random(0),
+            emulator=MipsEmulator(random.Random(1), activation_rate=1.0),
+        )
+
+    def test_detects_ip_based_c2(self):
+        report = self.offline_sandbox().analyze_offline(build_binary().data)
+        assert report.activated
+        assert report.c2_endpoint == int_to_ip(C2_IP)
+        assert report.c2_port == C2_PORT
+        assert not report.is_p2p
+
+    def test_detects_domain_based_c2(self):
+        binary = build_binary(c2_host="cnc.botnet.example")
+        report = self.offline_sandbox().analyze_offline(binary.data)
+        assert report.c2_endpoint == "cnc.botnet.example"
+
+    @pytest.mark.parametrize("family", ["mirai", "gafgyt", "daddyl33t", "tsunami"])
+    def test_all_dialects_detected(self, family):
+        report = self.offline_sandbox().analyze_offline(
+            build_binary(family=family).data
+        )
+        assert report.has_c2
+        assert report.c2_candidates[0].confidence == 1.0
+
+    def test_p2p_sample_flagged_not_c2(self):
+        config = BotConfig(family="mozi", p2p_bootstrap=["203.0.113.1:6881"])
+        binary = build_sample(config, random.Random(0))
+        report = self.offline_sandbox().analyze_offline(binary.data)
+        assert report.is_p2p
+        assert not report.has_c2
+
+    def test_exploits_extracted(self):
+        report = self.offline_sandbox().analyze_offline(
+            build_binary().data, scan_budget=400
+        )
+        assert report.exploits
+        assert 8080 in report.scan_ports or 23 in report.scan_ports
+
+    def test_capture_is_nonempty_and_pcap_serializable(self):
+        report = self.offline_sandbox().analyze_offline(build_binary().data)
+        assert len(report.capture) > 0
+        from repro.netsim.capture import Capture
+
+        restored = Capture.from_pcap_bytes(report.capture.to_pcap_bytes())
+        assert len(restored) == len(report.capture)
+
+    def test_unactivated_sample_reported(self):
+        sandbox = CncHunterSandbox(
+            random.Random(0),
+            emulator=MipsEmulator(random.Random(1), activation_rate=0.0001),
+        )
+        report = sandbox.analyze_offline(build_binary().data)
+        assert not report.activated
+        assert not report.has_c2
+
+
+class TestProbingMode:
+    def test_live_c2_engages(self):
+        sandbox, internet, _server = sandbox_with_internet()
+        results = sandbox.probe_targets(
+            build_binary().data, [(C2_IP, C2_PORT)]
+        )
+        assert results[0].engaged
+        assert results[0].response
+
+    def test_dead_target_does_not_engage(self):
+        sandbox, _internet, _server = sandbox_with_internet()
+        results = sandbox.probe_targets(
+            build_binary().data,
+            [(ip_to_int("192.0.2.99"), C2_PORT), (C2_IP, 9999)],
+        )
+        assert not results[0].engaged
+        assert not results[1].engaged
+
+    def test_probe_multiple_targets_order_preserved(self):
+        sandbox, _internet, _server = sandbox_with_internet()
+        targets = [(C2_IP, C2_PORT), (ip_to_int("192.0.2.99"), 1312)]
+        results = sandbox.probe_targets(build_binary().data, targets)
+        assert [(r.target, r.port) for r in results] == targets
+
+    def test_probe_requires_internet(self):
+        sandbox = CncHunterSandbox(random.Random(0))
+        with pytest.raises(RuntimeError):
+            sandbox.probe_targets(build_binary().data, [(C2_IP, C2_PORT)])
+
+
+class TestLiveObservation:
+    def test_eavesdrops_commands_and_contains_attack(self):
+        command = AttackCommand("udp", TARGET, 80, 60)
+        sandbox, internet, server = sandbox_with_internet()
+        server.schedule_attack(internet.clock.now, command)
+        report = sandbox.observe_live(
+            build_binary().data, duration=600.0, poll_interval=60.0
+        )
+        assert report.connected
+        assert report.c2_host == C2_IP
+        assert command in report.commands
+        # attack traffic was generated but contained (target not reachable)
+        attack_packets = [p for p in report.contained if p.dst == TARGET]
+        assert len(attack_packets) > 100
+        assert report.alerts >= 1  # flood signature fired
+
+    def test_server_stream_profilable(self):
+        command = AttackCommand("udp", TARGET, 80, 60)
+        sandbox, _internet, _server = sandbox_with_internet()
+        _server.schedule_attack(_internet.clock.now, command)
+        report = sandbox.observe_live(build_binary().data, duration=300.0)
+        from repro.analysis.ddos_detect import profile_stream
+
+        profiled = profile_stream(report.server_stream)
+        assert any(p.command == command for p in profiled)
+
+    def test_no_commands_when_schedule_empty(self):
+        sandbox, _internet, _server = sandbox_with_internet()
+        report = sandbox.observe_live(build_binary().data, duration=300.0)
+        assert report.connected
+        assert report.commands == []
+        assert len(report.contained) == 0
+
+    def test_unreachable_c2_reports_disconnected(self):
+        sandbox, internet, _server = sandbox_with_internet()
+        internet.host(C2_IP).set_lifetime(0, 1)  # long dead
+        report = sandbox.observe_live(build_binary().data, duration=300.0)
+        assert not report.connected
+        assert report.commands == []

@@ -1,0 +1,126 @@
+"""Tests for the SNORT-style containment layer."""
+
+import random
+
+import pytest
+
+from repro.netsim.addresses import ip_to_int
+from repro.netsim.capture import Capture
+from repro.netsim.packet import udp_packet
+from repro.sandbox.snort import (
+    EgressPolicy,
+    FilteredAdapter,
+    PolicyMode,
+    SnortIds,
+)
+
+BOT = ip_to_int("100.64.13.37")
+C2 = ip_to_int("203.0.113.10")
+VICTIM = ip_to_int("192.0.2.50")
+
+
+def flood(dst, count, start=0.0, rate=1000.0):
+    return [
+        udp_packet(BOT, dst, 4000, 80, b"\x00", timestamp=start + i / rate)
+        for i in range(count)
+    ]
+
+
+class TestEgressPolicy:
+    def test_block_all(self):
+        policy = EgressPolicy(PolicyMode.BLOCK_ALL)
+        assert not policy.permits(udp_packet(BOT, C2, 1, 2))
+
+    def test_c2_only(self):
+        policy = EgressPolicy(PolicyMode.C2_ONLY, frozenset({C2}))
+        assert policy.permits(udp_packet(BOT, C2, 1, 2))
+        assert not policy.permits(udp_packet(BOT, VICTIM, 1, 2))
+
+    def test_call_home_only_same_semantics(self):
+        policy = EgressPolicy(PolicyMode.CALL_HOME_ONLY, frozenset({C2}))
+        assert policy.permits(udp_packet(BOT, C2, 1, 2))
+
+
+class TestSnortIds:
+    def test_contained_vs_released(self):
+        ids = SnortIds(EgressPolicy(PolicyMode.C2_ONLY, frozenset({C2})))
+        assert ids.inspect(udp_packet(BOT, C2, 1, 2, timestamp=0.0))
+        assert not ids.inspect(udp_packet(BOT, VICTIM, 1, 2, timestamp=0.0))
+        assert len(ids.released) == 1
+        assert len(ids.contained) == 1
+
+    def test_flood_alert_fires_once_per_bucket(self):
+        ids = SnortIds(EgressPolicy(PolicyMode.BLOCK_ALL), flood_threshold=100)
+        for pkt in flood(VICTIM, 250):
+            ids.inspect(pkt)
+        assert len(ids.flood_alerts) == 1
+        assert ids.flood_alerts[0].dst == VICTIM
+        assert "flood" in ids.flood_alerts[0].message
+
+    def test_slow_traffic_no_alert(self):
+        ids = SnortIds(EgressPolicy(PolicyMode.BLOCK_ALL), flood_threshold=100)
+        for pkt in flood(VICTIM, 50, rate=10.0):
+            ids.inspect(pkt)
+        assert ids.flood_alerts == []
+
+    def test_allow_host_extends_policy(self):
+        ids = SnortIds(EgressPolicy(PolicyMode.C2_ONLY, frozenset()))
+        assert not ids.inspect(udp_packet(BOT, C2, 1, 2, timestamp=0.0))
+        ids.allow_host(C2)
+        assert ids.inspect(udp_packet(BOT, C2, 1, 2, timestamp=1.0))
+
+
+class FakeInner:
+    def __init__(self):
+        self.sent = []
+        self.connects = []
+
+    def tcp_connect(self, dst, port, trace=None):
+        self.connects.append((dst, port))
+        return object()
+
+    def send_datagram(self, pkt, trace=None):
+        self.sent.append(pkt)
+
+    def dns_lookup(self, name, trace=None):
+        return 0x01020304
+
+
+class TestFilteredAdapter:
+    def make(self, allowed=frozenset()):
+        inner = FakeInner()
+        ids = SnortIds(EgressPolicy(PolicyMode.C2_ONLY, frozenset(allowed)))
+        return inner, ids, FilteredAdapter(inner, ids, trace=Capture())
+
+    def test_blocked_connect_never_reaches_network(self):
+        inner, ids, adapter = self.make()
+        assert adapter.tcp_connect(VICTIM, 80) is None
+        assert inner.connects == []
+        assert len(ids.contained) == 1
+
+    def test_allowed_connect_passes(self):
+        inner, _ids, adapter = self.make(allowed={C2})
+        assert adapter.tcp_connect(C2, 23) is not None
+        assert inner.connects == [(C2, 23)]
+
+    def test_blocked_datagram_captured_not_delivered(self):
+        inner, ids, adapter = self.make(allowed={C2})
+        adapter.send_datagram(udp_packet(BOT, VICTIM, 1, 2, timestamp=0.0))
+        assert inner.sent == []
+        assert len(ids.contained) == 1
+
+    def test_allowed_datagram_delivered(self):
+        inner, _ids, adapter = self.make(allowed={C2})
+        adapter.send_datagram(udp_packet(BOT, C2, 1, 2, timestamp=0.0))
+        assert len(inner.sent) == 1
+
+    def test_dns_passthrough(self):
+        _inner, _ids, adapter = self.make()
+        assert adapter.dns_lookup("x.example") == 0x01020304
+
+    def test_trace_records_all_datagrams(self):
+        _inner, _ids, adapter = self.make(allowed={C2})
+        trace = adapter._trace
+        adapter.send_datagram(udp_packet(BOT, C2, 1, 2, timestamp=0.0))
+        adapter.send_datagram(udp_packet(BOT, VICTIM, 1, 2, timestamp=0.1))
+        assert len(trace) == 2

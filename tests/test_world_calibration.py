@@ -1,0 +1,90 @@
+"""Tests for the calibration constants and scale machinery."""
+
+import pytest
+
+from repro.netsim.internet import SECONDS_PER_DAY, STUDY_EPOCH
+from repro.world import calibration as cal
+from repro.world.calibration import StudyScale
+
+
+class TestWeekMapping:
+    def test_31_active_weeks(self):
+        assert cal.ACTIVE_WEEKS == 31
+        assert set(cal.WEEK_DATES) == set(range(1, 32))
+
+    def test_appendix_e_mapping(self):
+        """Week 1 -> 2021/w14; weeks 2-11 -> 2021/w24-33; weeks 12-20 ->
+        2021/w44-52+; weeks 21-31 -> 2022/w2-12."""
+        assert cal.WEEK_DATES[1] == (2021, 14)
+        assert cal.WEEK_DATES[2] == (2021, 24)
+        assert cal.WEEK_DATES[11] == (2021, 33)
+        assert cal.WEEK_DATES[12] == (2021, 44)
+        assert cal.WEEK_DATES[21] == (2022, 2)
+        assert cal.WEEK_DATES[31] == (2022, 12)
+
+    def test_week_start_monotone(self):
+        starts = [cal.week_start(w) for w in range(1, 32)]
+        assert starts == sorted(starts)
+        assert starts[0] == STUDY_EPOCH
+        assert starts[1] - starts[0] == 7 * SECONDS_PER_DAY
+
+    def test_week_start_bounds(self):
+        with pytest.raises(ValueError):
+            cal.week_start(0)
+        with pytest.raises(ValueError):
+            cal.week_start(32)
+
+    def test_may7_after_study(self):
+        assert cal.MAY_7_2022 > cal.week_start(31)
+
+
+class TestDistributionsSane:
+    def test_family_mix_sums_to_one(self):
+        assert sum(w for _f, w in cal.FAMILY_MIX) == pytest.approx(1.0)
+
+    def test_campaign_sizes_sum_to_one(self):
+        assert sum(w for _s, w in cal.CAMPAIGN_SIZES) == pytest.approx(1.0)
+
+    def test_lifetime_buckets_sum_to_one(self):
+        assert sum(p for _l, _h, p in cal.LIFETIME_BUCKETS) == pytest.approx(1.0)
+
+    def test_spread_buckets_sum_to_one(self):
+        assert sum(p for _l, _h, p in cal.SPREAD_BUCKETS) == pytest.approx(1.0)
+
+    def test_top10_weights_sum_to_one(self):
+        assert sum(w for _a, w in cal.TOP10_AS_WEIGHTS) == pytest.approx(1.0)
+
+    def test_attack_plan_totals_42(self):
+        total = sum(count for _f, _m, count in cal.ATTACK_METHOD_PLAN)
+        assert total == cal.ATTACK_COMMAND_COUNT == 42
+
+    def test_attack_plan_families(self):
+        families = {family for family, _m, _c in cal.ATTACK_METHOD_PLAN}
+        assert families == {"mirai", "gafgyt", "daddyl33t"}
+
+    def test_table5_probe_ports(self):
+        assert cal.PROBE_PORTS == (1312, 666, 1791, 9506, 606, 6738, 5555,
+                                   1014, 3074, 6969, 42516, 81)
+        assert len(cal.PROBE_PORTS) == 12
+
+    def test_dns_fraction_consistent_with_table3(self):
+        """15.3 ≈ f*57.6 + (1-f)*13.3 gives f in the 4-7% range."""
+        assert 0.03 <= cal.DNS_C2_FRACTION <= 0.08
+
+    def test_victim_mix(self):
+        assert sum(s for _k, s in cal.VICTIM_KIND_MIX) == pytest.approx(1.0)
+
+
+class TestStudyScale:
+    def test_full_scale_samples(self):
+        assert StudyScale().total_samples == 1447
+
+    def test_fraction_scales(self):
+        assert StudyScale(sample_fraction=0.5).total_samples == 723
+
+    def test_floor_of_eight(self):
+        assert StudyScale(sample_fraction=0.0001).total_samples == 8
+
+    def test_smoke_scale_small(self):
+        assert cal.SMOKE_SCALE.total_samples < 100
+        assert cal.SMOKE_SCALE.probe_days < cal.PROBE_DAYS

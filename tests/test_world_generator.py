@@ -1,0 +1,158 @@
+"""Tests for the world generator's ground truth."""
+
+import random
+
+from repro.binary.elf import is_mips32_elf
+from repro.botnet.families import ATTACK_FAMILIES, FAMILIES
+from repro.netsim.packet import Protocol
+from repro.world import generate_world
+from repro.world.calibration import (
+    ATTACK_COMMAND_COUNT,
+    PROBE_PORTS,
+    PROBED_C2_COUNT,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self, smoke_world):
+        from tests.conftest import SMOKE
+
+        other = generate_world(seed=20220322, scale=SMOKE)
+        a = [s.sample.sha256 for s in smoke_world.truth.all_samples]
+        b = [s.sample.sha256 for s in other.truth.all_samples]
+        assert a == b
+        assert ([d.endpoint for d in smoke_world.truth.deployments]
+                == [d.endpoint for d in other.truth.deployments])
+
+    def test_different_seed_different_world(self, smoke_world):
+        from tests.conftest import SMOKE
+
+        other = generate_world(seed=999, scale=SMOKE)
+        a = {s.sample.sha256 for s in smoke_world.truth.all_samples}
+        b = {s.sample.sha256 for s in other.truth.all_samples}
+        assert a != b
+
+
+class TestSamples:
+    def test_budget_respected(self, smoke_world):
+        assert len(smoke_world.truth.all_samples) == smoke_world.scale.total_samples
+
+    def test_all_samples_are_mips32(self, smoke_world):
+        for planned in smoke_world.truth.all_samples:
+            assert is_mips32_elf(planned.sample.data)
+
+    def test_families_registered(self, smoke_world):
+        for planned in smoke_world.truth.all_samples:
+            assert planned.sample.family in FAMILIES
+
+    def test_p2p_samples_have_no_c2(self, mid_world):
+        for planned in mid_world.truth.all_samples:
+            if planned.sample.family in ("mozi", "hajime"):
+                assert planned.c2 is None
+                assert planned.sample.config.p2p_bootstrap
+
+    def test_every_sample_in_vt_feed(self, smoke_world):
+        for planned in smoke_world.truth.all_samples:
+            assert smoke_world.vt.lookup_hash(planned.sample.sha256) is not None
+
+
+class TestDeployments:
+    def test_c2_hosts_exist_with_listeners(self, smoke_world):
+        for deployment in smoke_world.truth.deployments:
+            host = smoke_world.internet.host(deployment.address)
+            assert host is not None
+            assert host.listener(Protocol.TCP, deployment.port) is not None
+
+    def test_lifetimes_positive(self, smoke_world):
+        for deployment in smoke_world.truth.deployments:
+            assert deployment.online_until > deployment.online_from
+
+    def test_downloader_port_bound_on_c2_hosts(self, smoke_world):
+        for deployment in smoke_world.truth.deployments:
+            if deployment.is_probed:
+                continue
+            host = smoke_world.internet.host(deployment.address)
+            assert host.listener(Protocol.TCP, 80) is not None
+
+    def test_dns_deployments_resolve_while_alive(self, mid_world):
+        resolver = mid_world.internet.resolver
+        named = [d for d in mid_world.truth.deployments if d.domain]
+        assert named, "expected some DNS-named C2s at mid scale"
+        for deployment in named:
+            mid = (deployment.online_from + deployment.online_until) / 2
+            assert resolver.resolve(deployment.domain, mid) == deployment.address
+            assert resolver.resolve(deployment.domain,
+                                    deployment.online_until + 10) is None
+
+    def test_intel_registered_for_every_deployment(self, smoke_world):
+        for deployment in smoke_world.truth.deployments:
+            assert smoke_world.vt.get_intel(deployment.endpoint) is not None
+
+    def test_addresses_fall_in_asdb(self, smoke_world):
+        for deployment in smoke_world.truth.deployments:
+            assert smoke_world.asdb.lookup(deployment.address) is not None
+
+
+class TestAttackPlan:
+    def test_42_attacks_planned(self, smoke_world):
+        assert len(smoke_world.truth.attacks) == ATTACK_COMMAND_COUNT
+
+    def test_attack_families_only(self, smoke_world):
+        for attack in smoke_world.truth.attacks:
+            assert attack.c2.family in ATTACK_FAMILIES
+
+    def test_attacks_scheduled_on_servers(self, smoke_world):
+        for attack in smoke_world.truth.attacks:
+            methods = [item.command.method
+                       for item in attack.c2.server.schedule]
+            assert attack.command.method in methods
+
+    def test_attack_c2s_long_lived(self, smoke_world):
+        for attack in smoke_world.truth.attacks:
+            assert attack.c2.lifetime_days >= 8.0
+
+    def test_attack_times_inside_c2_life(self, smoke_world):
+        for attack in smoke_world.truth.attacks:
+            assert attack.c2.online_from <= attack.when < attack.c2.online_until
+
+
+class TestProbingWorld:
+    def test_seven_probed_c2s(self, smoke_world):
+        assert len(smoke_world.truth.probed_deployments) == PROBED_C2_COUNT
+
+    def test_probed_c2s_inside_probe_subnets(self, smoke_world):
+        subnets = smoke_world.truth.probe_subnets
+        for deployment in smoke_world.truth.probed_deployments:
+            assert any(deployment.address in subnet for subnet in subnets)
+
+    def test_probed_ports_from_table5(self, smoke_world):
+        for deployment in smoke_world.truth.probed_deployments:
+            assert deployment.port in PROBE_PORTS
+
+    def test_probed_c2s_gated(self, smoke_world):
+        """Their listeners must have a non-trivial accepts gate."""
+        internet = smoke_world.internet
+        for deployment in smoke_world.truth.probed_deployments:
+            host = internet.host(deployment.address)
+            listener = host.listener(Protocol.TCP, deployment.port)
+            start = smoke_world.probe_start
+            slots = [listener.accepts(start + i * 4 * 3600.0) for i in range(60)]
+            assert any(slots) and not all(slots)
+
+    def test_decoys_present_with_banners(self, smoke_world):
+        decoys = [h for h in smoke_world.internet.hosts.values()
+                  if h.name == "decoy-web"]
+        assert decoys
+        for host in decoys:
+            assert any(l.banner.startswith(b"HTTP/1.0 200 OK")
+                       for l in host.listeners.values())
+
+
+class TestDownloaders:
+    def test_twelve_downloader_only_hosts(self, smoke_world):
+        assert len(smoke_world.truth.downloader_only_addresses) == 12
+
+    def test_downloader_hosts_serve_port_80(self, smoke_world):
+        for address in smoke_world.truth.downloader_only_addresses:
+            host = smoke_world.internet.host(address)
+            assert host.listener(Protocol.TCP, 80) is not None
