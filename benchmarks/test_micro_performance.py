@@ -3,6 +3,11 @@
 Not paper experiments — these track the costs that bound how far the
 study scales: packet codec, pcap I/O, flow aggregation, protocol
 profiling, and world generation itself.
+
+Each bench also folds its per-round timings into a
+:class:`~repro.obs.MetricsRegistry` histogram attached as
+``extra_info`` so BENCH_*.json snapshots carry the latency
+*distribution*, not just the mean.
 """
 
 import io
@@ -14,9 +19,32 @@ from repro.netsim.addresses import ip_to_int
 from repro.netsim.capture import Capture, PcapReader, PcapWriter
 from repro.netsim.flows import FlowTable
 from repro.netsim.packet import TcpFlags, decode_packet, encode_packet, tcp_packet
+from repro.obs import MetricsRegistry
 
 A = ip_to_int("198.51.100.1")
 B = ip_to_int("203.0.113.1")
+
+#: per-round wall-time buckets, 10µs .. 1s (seconds)
+_ROUND_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0,
+)
+
+
+def record_round_histogram(benchmark, name: str) -> None:
+    """Attach the per-round timing distribution to the benchmark record."""
+    try:
+        rounds = benchmark.stats.stats.data
+    except AttributeError:      # plugin disabled / bench not run
+        return
+    registry = MetricsRegistry()
+    series = registry.histogram(
+        "bench_round_seconds", "per-round benchmark wall time",
+        labelnames=("bench",), buckets=_ROUND_BUCKETS,
+    ).labels(bench=name)
+    for value in rounds:
+        series.observe(value)
+    benchmark.extra_info["round_seconds_histogram"] = series.snapshot()
 
 
 def _packets(count=1000):
@@ -34,6 +62,7 @@ def test_packet_encode_throughput(benchmark):
     packets = _packets(200)
     total = benchmark(lambda: sum(len(encode_packet(p)) for p in packets))
     assert total > 200 * 40
+    record_round_histogram(benchmark, "packet_encode")
 
 
 def test_packet_roundtrip_throughput(benchmark):
@@ -45,6 +74,7 @@ def test_packet_roundtrip_throughput(benchmark):
 
     decoded = benchmark(roundtrip)
     assert decoded == packets
+    record_round_histogram(benchmark, "packet_roundtrip")
 
 
 def test_pcap_write_read_throughput(benchmark):
@@ -57,12 +87,14 @@ def test_pcap_write_read_throughput(benchmark):
         return sum(1 for _ in PcapReader(buf))
 
     assert benchmark(cycle) == 500
+    record_round_histogram(benchmark, "pcap_write_read")
 
 
 def test_flow_aggregation_throughput(benchmark):
     capture = Capture(_packets(1000))
     table = benchmark(FlowTable.from_capture, capture)
     assert len(table) >= 1
+    record_round_histogram(benchmark, "flow_aggregation")
 
 
 def test_mirai_profiler_throughput(benchmark):
@@ -71,6 +103,7 @@ def test_mirai_profiler_throughput(benchmark):
 
     commands = benchmark(mirai.extract_commands, stream)
     assert len(commands) == 50
+    record_round_histogram(benchmark, "mirai_profiler")
 
 
 def test_world_generation_cost(benchmark):
@@ -79,3 +112,4 @@ def test_world_generation_cost(benchmark):
     scale = StudyScale(sample_fraction=0.05, probe_days=2)
     world = benchmark(generate_world, 123, scale)
     assert len(world.truth.all_samples) == scale.total_samples
+    record_round_histogram(benchmark, "world_generation")

@@ -13,20 +13,24 @@ entry points:
 from .core.datasets import Datasets
 from .core.pipeline import MalNet, PipelineConfig
 from .core.study import run_study
+from .obs import NULL_TELEMETRY, Telemetry, create_telemetry
 from .world.calibration import FULL_SCALE, SMOKE_SCALE, StudyScale
 from .world.generator import World, generate_world
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Datasets",
     "FULL_SCALE",
     "MalNet",
+    "NULL_TELEMETRY",
     "PipelineConfig",
     "SMOKE_SCALE",
     "StudyScale",
+    "Telemetry",
     "World",
     "__version__",
+    "create_telemetry",
     "generate_world",
     "run_study",
 ]

@@ -83,7 +83,10 @@ def _bdecode_at(data: bytes, offset: int):
         colon = data.find(b":", offset)
         if colon < 0:
             raise ProtocolError("unterminated string length")
-        length = int(data[offset:colon])
+        text = data[offset:colon]
+        if not text.isdigit():
+            raise ProtocolError("bad string length")
+        length = int(text)
         start = colon + 1
         if start + length > len(data):
             raise ProtocolError("truncated string")

@@ -3,9 +3,11 @@
 Usage (also via ``python -m repro``)::
 
     python -m repro study  --scale smoke --seed 7
+    python -m repro study  --scale smoke --telemetry /tmp/telemetry
     python -m repro report --scale smoke --what table1 table3 fig4
     python -m repro rules  --scale smoke --tech iptables
     python -m repro pcap   --scale smoke --out /tmp/traces --limit 5
+    python -m repro stats  --scale smoke
 
 Scales: ``smoke`` (~70 samples, seconds), ``mid`` (~430), ``full`` (the
 paper's 1447 samples, ~10 s).
@@ -14,6 +16,7 @@ paper's 1447 samples, ~10 s).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .core import c2_analysis, ddos_analysis, exploit_analysis, ti_analysis
@@ -26,6 +29,7 @@ from .core.report import (
     render_table,
 )
 from .core.study import run_study
+from .obs import NULL_TELEMETRY, Telemetry, create_telemetry
 from .world import FULL_SCALE, SMOKE_SCALE, StudyScale, generate_world
 from .world.calibration import ACTIVE_WEEKS
 
@@ -53,46 +57,100 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="study size (default: smoke)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("study", help="run the study and print Table 1 + stats")
+    def telemetry_flag(subparser):
+        subparser.add_argument(
+            "--telemetry", metavar="PATH", default=None,
+            help="write snapshot.json / events.jsonl / metrics.prom "
+                 "under this directory")
+
+    study = sub.add_parser("study", help="run the study and print Table 1 + stats")
+    telemetry_flag(study)
 
     report = sub.add_parser("report", help="render selected tables/figures")
     report.add_argument("--what", nargs="+", choices=REPORT_CHOICES,
                         default=["table1"], help="items to render")
+    telemetry_flag(report)
+
+    stats = sub.add_parser(
+        "stats", help="run the study with telemetry on and print the "
+                      "per-stage summary")
+    telemetry_flag(stats)
 
     rules = sub.add_parser("rules", help="compile firewall/IDS rules")
     rules.add_argument("--tech", choices=("iptables", "dnsmasq", "snort",
                                           "all"),
                        default="all", help="rule technology to emit")
+    telemetry_flag(rules)
 
     pcap = sub.add_parser("pcap", help="export per-binary pcap traces")
     pcap.add_argument("--out", required=True, help="output directory")
     pcap.add_argument("--limit", type=int, default=10,
                       help="max binaries to export (default 10)")
+    telemetry_flag(pcap)
     return parser
 
 
-def _run(args) -> tuple:
+def _telemetry_for(args) -> tuple[Telemetry, str | None]:
+    """An enabled telemetry bundle when ``--telemetry PATH`` was given.
+
+    The output directory is created eagerly so a bad path fails before
+    the study runs, not after."""
+    path = getattr(args, "telemetry", None)
+    if path is None:
+        return NULL_TELEMETRY, None
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as exc:
+        raise SystemExit(f"repro: --telemetry {path!r}: {exc}")
+    return create_telemetry(), path
+
+
+def _emit(out, telemetry: Telemetry, text: str, event: str, **fields) -> None:
+    """CLI output: the rendered text goes to ``out``, a structured copy of
+    the underlying fact goes to the event log."""
+    print(text, file=out)
+    telemetry.events.emit(event, **fields)
+
+
+def _finish_telemetry(out, telemetry: Telemetry, path: str | None) -> None:
+    if path is None:
+        return
+    paths = telemetry.write(path)
+    print(f"# telemetry written to {path} "
+          f"({', '.join(sorted(p.rsplit('/', 1)[-1] for p in paths.values()))})",
+          file=out)
+
+
+def _run(args, telemetry: Telemetry = NULL_TELEMETRY) -> tuple:
     world = generate_world(seed=args.seed, scale=SCALES[args.scale])
-    malnet, campaign, datasets = run_study(world)
+    malnet, campaign, datasets = run_study(world, telemetry=telemetry)
     return world, malnet, campaign, datasets
 
 
 def _cmd_study(args, out) -> int:
-    world, _malnet, campaign, datasets = _run(args)
+    telemetry, telemetry_path = _telemetry_for(args)
+    world, _malnet, campaign, datasets = _run(args, telemetry)
     summary = datasets.summary()
     rows = [[name, count] for name, count in summary.items()]
-    print(render_table(["dataset", "size"], rows, title="Table 1"), file=out)
+    _emit(out, telemetry,
+          render_table(["dataset", "size"], rows, title="Table 1"),
+          "cli.table1", sizes=dict(summary))
     dead = c2_analysis.dead_on_arrival_rate(datasets)
-    print(f"\ndead-on-day-0 C2 rate: {dead:.0%}", file=out)
-    print(f"probe repeat-response rate: "
-          f"{campaign.repeat_response_rate():.0%}", file=out)
-    print(f"attack types observed: "
-          f"{sorted({r.attack_type for r in datasets.d_ddos})}", file=out)
+    _emit(out, telemetry, f"\ndead-on-day-0 C2 rate: {dead:.0%}",
+          "cli.dead_on_arrival", rate=dead)
+    repeat = campaign.repeat_response_rate()
+    _emit(out, telemetry, f"probe repeat-response rate: {repeat:.0%}",
+          "cli.repeat_response", rate=repeat)
+    attack_types = sorted({r.attack_type for r in datasets.d_ddos})
+    _emit(out, telemetry, f"attack types observed: {attack_types}",
+          "cli.attack_types", types=attack_types)
+    _finish_telemetry(out, telemetry, telemetry_path)
     return 0
 
 
 def _cmd_report(args, out) -> int:
-    world, _malnet, campaign, datasets = _run(args)
+    telemetry, telemetry_path = _telemetry_for(args)
+    world, _malnet, campaign, datasets = _run(args, telemetry)
     renderers = {
         "table1": lambda: render_table(
             ["dataset", "size"],
@@ -136,26 +194,62 @@ def _cmd_report(args, out) -> int:
             "Figure 11"),
     }
     for what in args.what:
-        print(renderers[what](), file=out)
+        _emit(out, telemetry, renderers[what](), "cli.render", what=what)
         print(file=out)
+    _finish_telemetry(out, telemetry, telemetry_path)
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    """Run the study with telemetry on; render the per-stage summary."""
+    telemetry = create_telemetry()
+    _run(args, telemetry)
+    stage_rows = [
+        [name, stat["count"],
+         f"{stat['wall_seconds']:.3f}",
+         f"{stat['sim_seconds'] / 3600.0:.1f}"]
+        for name, stat in sorted(
+            telemetry.tracer.aggregate().items(),
+            key=lambda item: -item[1]["wall_seconds"])
+    ]
+    print(render_table(["stage", "calls", "wall s", "sim h"], stage_rows,
+                       title="Pipeline stages"), file=out)
+    print(file=out)
+    counter_rows = []
+    for family in telemetry.metrics.families():
+        if family.kind != "counter":
+            continue
+        for labels, child in family.series():
+            label_text = ",".join(f"{k}={v}" for k, v in labels.items())
+            name = f"{family.name}{{{label_text}}}" if label_text else family.name
+            counter_rows.append([name, int(child.value)])
+    print(render_table(["counter", "total"], counter_rows, title="Counters"),
+          file=out)
+    _finish_telemetry(out, telemetry, getattr(args, "telemetry", None))
     return 0
 
 
 def _cmd_rules(args, out) -> int:
-    _world, _malnet, _campaign, datasets = _run(args)
+    telemetry, telemetry_path = _telemetry_for(args)
+    _world, _malnet, _campaign, datasets = _run(args, telemetry)
     bundle = compile_rules(datasets)
     technology = None if args.tech == "all" else args.tech
-    print(bundle.render(technology), file=out)
+    _emit(out, telemetry, bundle.render(technology), "cli.rules",
+          technology=args.tech, rules=len(bundle.rules))
     report = coverage_report(datasets, bundle)
-    print(f"# c2 coverage: {report['c2_coverage']:.0%}; "
-          f"binary coverage: {report['binary_coverage']:.0%}", file=out)
+    _emit(out, telemetry,
+          f"# c2 coverage: {report['c2_coverage']:.0%}; "
+          f"binary coverage: {report['binary_coverage']:.0%}",
+          "cli.rule_coverage", **report)
+    _finish_telemetry(out, telemetry, telemetry_path)
     return 0
 
 
 def _cmd_pcap(args, out) -> int:
     import os
 
-    world, malnet, _campaign, datasets = _run(args)
+    telemetry, telemetry_path = _telemetry_for(args)
+    world, malnet, _campaign, datasets = _run(args, telemetry)
     os.makedirs(args.out, exist_ok=True)
     exported = 0
     # re-run the offline analysis for the first N profiled binaries and
@@ -170,10 +264,15 @@ def _cmd_pcap(args, out) -> int:
         report = malnet.sandbox.analyze_offline(sample.data, scan_budget=60)
         path = os.path.join(args.out, f"{profile.sha256[:16]}.pcap")
         report.capture.save(path)
-        print(f"{path}  ({len(report.capture)} packets, "
-              f"family={profile.family_label})", file=out)
+        _emit(out, telemetry,
+              f"{path}  ({len(report.capture)} packets, "
+              f"family={profile.family_label})",
+              "cli.pcap_trace", path=path, packets=len(report.capture),
+              family=profile.family_label)
         exported += 1
-    print(f"# exported {exported} traces", file=out)
+    _emit(out, telemetry, f"# exported {exported} traces",
+          "cli.pcap_done", exported=exported)
+    _finish_telemetry(out, telemetry, telemetry_path)
     return 0
 
 
@@ -184,6 +283,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     commands = {
         "study": _cmd_study,
         "report": _cmd_report,
+        "stats": _cmd_stats,
         "rules": _cmd_rules,
         "pcap": _cmd_pcap,
     }

@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from ..obs import NULL_TELEMETRY, Telemetry
 from .firewall import FirewallRule, compile_rules
 from .pipeline import MalNet, PipelineConfig
 
@@ -55,25 +56,41 @@ class DailyDigest:
 class ContinuousMonitor:
     """Day-by-day streaming wrapper around the MalNet pipeline."""
 
-    def __init__(self, world, config: PipelineConfig | None = None):
-        self.malnet = MalNet(world, config)
+    def __init__(self, world, config: PipelineConfig | None = None,
+                 telemetry: Telemetry | None = None):
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.malnet = MalNet(world, config, telemetry=self.telemetry)
         self._known_c2s: set[str] = set()
         self._known_vulns: set[str] = set()
         self._seen_commands: set[tuple] = set()
         self._shipped_rules: set[tuple[str, str]] = set()
         self.digests: list[DailyDigest] = []
+        metrics = self.telemetry.metrics
+        self._m_alerts = metrics.counter(
+            "monitor_alerts", "typed alerts pushed to subscribers",
+            labelnames=("kind",))
+        self._m_rules = metrics.counter(
+            "monitor_rules_shipped", "incremental firewall/IDS rules shipped")
 
     # -- the daily tick ------------------------------------------------------
 
     def tick(self, day: int) -> DailyDigest:
         """Run one collection day and compute its alerts and rule delta."""
-        profiles = self.malnet.run_day(day)
-        digest = DailyDigest(day=day, profiles_analyzed=len(profiles))
-        for profile in profiles:
-            self._c2_alerts(day, profile, digest)
-            self._exploit_alerts(day, profile, digest)
-            self._attack_alerts(day, profile, digest)
-        self._rule_delta(digest)
+        with self.telemetry.tracer.span("monitor.tick", day=day):
+            profiles = self.malnet.run_day(day)
+            digest = DailyDigest(day=day, profiles_analyzed=len(profiles))
+            for profile in profiles:
+                self._c2_alerts(day, profile, digest)
+                self._exploit_alerts(day, profile, digest)
+                self._attack_alerts(day, profile, digest)
+            self._rule_delta(digest)
+        for alert in digest.alerts:
+            self._m_alerts.labels(kind=alert.kind.value).inc()
+            self.telemetry.events.emit(
+                "monitor.alert", kind=alert.kind.value, day=day,
+                subject=alert.subject, detail=alert.detail,
+            )
+        self._m_rules.inc(len(digest.new_rules))
         self.digests.append(digest)
         return digest
 

@@ -34,6 +34,7 @@ from ..botnet.families import ATTACK_FAMILIES
 from ..feeds.avclass import label_sample
 from ..feeds.virustotal import DETECTION_THRESHOLD
 from ..netsim.addresses import ip_to_int
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..netsim.internet import SECONDS_PER_DAY
 from ..sandbox.qemu import EmulationError, MipsEmulator
 from ..sandbox.sandbox import CncHunterSandbox, SANDBOX_IP
@@ -61,10 +62,15 @@ class PipelineConfig:
 class MalNet:
     """Orchestrates the daily measurement over a generated world."""
 
-    def __init__(self, world: World, config: PipelineConfig | None = None):
+    def __init__(self, world: World, config: PipelineConfig | None = None,
+                 telemetry: Telemetry | None = None):
         self.world = world
         self.config = config or PipelineConfig()
         self.datasets = Datasets()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.telemetry.bind_sim_clock(lambda: world.internet.clock.now)
+        world.vt.telemetry = self.telemetry
+        world.bazaar.telemetry = self.telemetry
         self._rng = random.Random(world.rng.getrandbits(32))
         self._machines = frozenset(
             ARCH_MACHINES[arch] for arch in self.config.architectures
@@ -72,12 +78,36 @@ class MalNet:
         self.sandbox = CncHunterSandbox(
             self._rng, world.internet,
             emulator=MipsEmulator(
-                random.Random(0),
+                # derived from the world seed (not a fixed constant) so two
+                # worlds with different seeds don't share emulator randomness
+                random.Random(world.rng.getrandbits(32)),
                 activation_rate=self.config.activation_rate,
                 machines=self._machines,
             ),
+            telemetry=self.telemetry,
         )
         self._seen_hashes: set[str] = set()
+        metrics = self.telemetry.metrics
+        self._m_collected = metrics.counter(
+            "samples_collected", "samples surviving the daily dedup/ELF filter")
+        self._m_verified = metrics.counter(
+            "samples_verified", "samples corroborated by >= 5 AV engines")
+        self._m_activated = metrics.counter(
+            "samples_activated", "samples exhibiting behavior in the sandbox")
+        self._m_skipped = metrics.counter(
+            "samples_skipped", "samples dropped before profiling",
+            labelnames=("reason",))
+        self._m_emulation_errors = metrics.counter(
+            "emulation_errors", "binaries QEMU could not load at all")
+        self._m_liveness = metrics.counter(
+            "c2_liveness_probes", "day-0 weaponized C2 liveness checks",
+            labelnames=("outcome",))
+        self._m_c2_records = metrics.counter(
+            "c2_records", "C2 endpoint records added to D-C2s")
+        self._m_exploit_records = metrics.counter(
+            "exploit_records", "exploit observations added to D-Exploits")
+        self._m_ddos_records = metrics.counter(
+            "ddos_records", "DDoS command observations added to D-DDOS")
 
     # -- public API --------------------------------------------------------------
 
@@ -96,25 +126,34 @@ class MalNet:
 
     def run_day(self, day: int) -> list[BinaryNetworkProfile]:
         """Collect and analyze everything published on one study day."""
-        day_start = self.world.epoch + day * SECONDS_PER_DAY
-        day_end = day_start + SECONDS_PER_DAY
-        entries = self._collect(day_start, day_end)
-        analysis_time = day_start + ANALYSIS_HOUR_OFFSET
-        profiles: list[BinaryNetworkProfile] = []
-        for data, published, source in entries:
-            self._set_clock(analysis_time)
-            profile = self._analyze_binary(data, published, day, source)
-            if profile is not None:
-                profiles.append(profile)
-                self.datasets.profiles.append(profile)
+        with self.telemetry.tracer.span("pipeline.run_day", day=day) as span:
+            day_start = self.world.epoch + day * SECONDS_PER_DAY
+            day_end = day_start + SECONDS_PER_DAY
+            entries = self._collect(day_start, day_end)
+            analysis_time = day_start + ANALYSIS_HOUR_OFFSET
+            profiles: list[BinaryNetworkProfile] = []
+            for data, published, source in entries:
+                self._set_clock(analysis_time)
+                profile = self._analyze_binary(data, published, day, source)
+                if profile is not None:
+                    profiles.append(profile)
+                    self.datasets.profiles.append(profile)
+            span.set_attribute("collected", len(entries))
+            span.set_attribute("profiled", len(profiles))
+            if entries:
+                self.telemetry.events.emit(
+                    "pipeline.day", day=day,
+                    collected=len(entries), profiled=len(profiles),
+                )
         return profiles
 
     def recheck_threat_intel(self, when: float = MAY_7_2022) -> None:
         """The second VT query of section 2.3 (May 7th, 2022)."""
-        for record in self.datasets.d_c2s.values():
-            record.vt_malicious_recheck = self.world.vt.is_malicious(
-                record.endpoint, when
-            )
+        with self.telemetry.tracer.span("pipeline.recheck_ti"):
+            for record in self.datasets.d_c2s.values():
+                record.vt_malicious_recheck = self.world.vt.is_malicious(
+                    record.endpoint, when
+                )
 
     # -- collection ------------------------------------------------------------------
 
@@ -136,12 +175,15 @@ class MalNet:
         collected: list[tuple[bytes, float, str]] = []
         for sha256, (data, published, sources) in sorted(candidates.items()):
             if sha256 in self._seen_hashes:
+                self._m_skipped.labels(reason="duplicate").inc()
                 continue
             if not is_supported_elf(data, self._machines):
+                self._m_skipped.labels(reason="unsupported-elf").inc()
                 continue
             self._seen_hashes.add(sha256)
             source = "both" if len(sources) == 2 else sources.pop()
             collected.append((data, published, source))
+        self._m_collected.inc(len(collected))
         return collected
 
     def _verify_and_label(self, data: bytes, now: float) -> tuple[bool, str | None, str]:
@@ -165,7 +207,9 @@ class MalNet:
         now = self.world.internet.clock.now
         is_malware, family_label, label_source = self._verify_and_label(data, now)
         if not is_malware:
+            self._m_skipped.labels(reason="unverified").inc()
             return None
+        self._m_verified.inc()
         try:
             report = self.sandbox.analyze_offline(
                 data, scan_budget=self.world.scale.scan_budget
@@ -174,7 +218,14 @@ class MalNet:
             # passed the cheap header filter but is not actually loadable
             # (corrupt sections, stripped behavior); skipped, like any
             # sample QEMU cannot boot
+            self._m_emulation_errors.inc()
+            self.telemetry.events.warning(
+                "pipeline.emulation_error", day=day,
+                sha256=hashlib.sha256(data).hexdigest(),
+            )
             return None
+        if report.activated:
+            self._m_activated.inc()
         profile = BinaryNetworkProfile(
             sha256=report.sha256, published=published, day=day, source=source,
             family_label=family_label, label_source=label_source,
@@ -204,6 +255,7 @@ class MalNet:
                 payload=capture.payload,
             )
             profile.exploits.append(observation)
+            self._m_exploit_records.inc()
             self.datasets.d_exploits.append(ExploitRecord(
                 sha256=profile.sha256, vuln_key=vuln.key,
                 loader=observation.loader, downloader=observation.downloader,
@@ -227,6 +279,12 @@ class MalNet:
         now = self.world.internet.clock.now
         profile.vt_flagged_day0 = self.world.vt.is_malicious(endpoint, now)
 
+        if endpoint not in self.datasets.d_c2s:
+            self._m_c2_records.inc()
+            self.telemetry.events.emit(
+                "pipeline.new_c2", day=day, endpoint=endpoint,
+                port=report.c2_port, family=profile.family_label,
+            )
         record = self.datasets.c2_record(endpoint, report.c2_port, is_dns)
         record.sample_hashes.add(profile.sha256)
         if profile.family_label:
@@ -241,6 +299,7 @@ class MalNet:
             record.protocol_verified = True
 
         live = self._check_liveness(data, endpoint, report.c2_port)
+        self._m_liveness.labels(outcome="live" if live else "dead").inc()
         profile.c2_live_on_day0 = live
         if live:
             record.live_observations += 1
@@ -266,6 +325,7 @@ class MalNet:
 
     def _observe_attacks(self, profile, record, data: bytes) -> None:
         """Two-hour restricted-mode session on a live C2 (section 2.5)."""
+        records_before = len(self.datasets.d_ddos)
         live_report = self.sandbox.observe_live(
             data,
             duration=self.world.scale.observe_duration,
@@ -318,6 +378,13 @@ class MalNet:
                 command=command, family_profile="heuristic",
                 when=burst.start, verified=True, via_heuristic=True,
             ))
+        new_records = len(self.datasets.d_ddos) - records_before
+        if new_records:
+            self._m_ddos_records.inc(new_records)
+            self.telemetry.events.emit(
+                "pipeline.ddos_observed", endpoint=record.endpoint,
+                commands=new_records,
+            )
 
     # -- clock management -----------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from ..netsim.addresses import Subnet
 from ..netsim.internet import VirtualInternet
 from ..netsim.packet import Protocol
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..sandbox.sandbox import CncHunterSandbox
 from ..world.calibration import (
     PROBE_INTERVAL_HOURS,
@@ -47,6 +48,7 @@ class ProbingCampaign:
     observations: list[ProbeObservation] = field(default_factory=list)
     #: (address, port) pairs confirmed as C2s at least once
     discovered: set[tuple[int, int]] = field(default_factory=set)
+    telemetry: Telemetry = NULL_TELEMETRY
 
     @property
     def slots_per_day(self) -> int:
@@ -77,27 +79,42 @@ class ProbingCampaign:
         return targets
 
     def _probe_slot(self, slot: int) -> None:
-        when = self.start + slot * self.interval_hours * 3600.0
-        clock = self.internet.clock
-        if clock.now <= when:
-            clock.advance_to(when)
-        else:
-            clock.rewind(when)
-        # probe every open target with both weaponized samples; targets we
-        # already identified as C2s are probed even if currently silent
-        targets = set(self._listening_targets(when)) | self.discovered
-        engaged_now: set[tuple[int, int]] = set()
-        for binary in self.sample_binaries:
-            results = self.sandbox.probe_targets(binary, sorted(targets))
-            for result in results:
-                if result.engaged:
-                    engaged_now.add((result.target, result.port))
-        for address, port in sorted(self.discovered | engaged_now):
-            self.observations.append(ProbeObservation(
-                c2_address=address, c2_port=port, slot=slot, when=when,
-                engaged=(address, port) in engaged_now,
-            ))
-        self.discovered |= engaged_now
+        with self.telemetry.tracer.span("probing.slot", slot=slot) as span:
+            when = self.start + slot * self.interval_hours * 3600.0
+            clock = self.internet.clock
+            if clock.now <= when:
+                clock.advance_to(when)
+            else:
+                clock.rewind(when)
+            # probe every open target with both weaponized samples; targets we
+            # already identified as C2s are probed even if currently silent
+            targets = set(self._listening_targets(when)) | self.discovered
+            engaged_now: set[tuple[int, int]] = set()
+            for binary in self.sample_binaries:
+                results = self.sandbox.probe_targets(binary, sorted(targets))
+                for result in results:
+                    if result.engaged:
+                        engaged_now.add((result.target, result.port))
+            newly_found = engaged_now - self.discovered
+            for address, port in sorted(self.discovered | engaged_now):
+                self.observations.append(ProbeObservation(
+                    c2_address=address, c2_port=port, slot=slot, when=when,
+                    engaged=(address, port) in engaged_now,
+                ))
+            self.discovered |= engaged_now
+            span.set_attribute("targets", len(targets))
+            span.set_attribute("engaged", len(engaged_now))
+            metrics = self.telemetry.metrics
+            metrics.counter(
+                "probe_slot_engagements", "per-slot engaged C2 probes"
+            ).inc(len(engaged_now))
+            metrics.gauge(
+                "probing_discovered_c2s", "C2s the campaign has confirmed"
+            ).set(len(self.discovered))
+            if newly_found:
+                self.telemetry.events.emit(
+                    "probing.discovered", slot=slot, count=len(newly_found),
+                )
 
     def run(self) -> list[ProbeObservation]:
         """Execute the full campaign; returns the D-PC2 observations."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import random
 
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..sandbox.qemu import MipsEmulator
 from ..world.generator import World
 from .datasets import Datasets
@@ -30,7 +31,8 @@ def select_probe_binaries(world: World) -> list[bytes]:
     return picks
 
 
-def run_probing(world: World, malnet: MalNet) -> ProbingCampaign:
+def run_probing(world: World, malnet: MalNet,
+                telemetry: Telemetry | None = None) -> ProbingCampaign:
     """Run the D-PC2 campaign and merge its observations."""
     campaign = ProbingCampaign(
         internet=world.internet,
@@ -39,6 +41,7 @@ def run_probing(world: World, malnet: MalNet) -> ProbingCampaign:
         sample_binaries=select_probe_binaries(world),
         start=world.probe_start,
         days=world.scale.probe_days,
+        telemetry=telemetry or malnet.telemetry,
     )
     campaign.run()
     malnet.datasets.d_pc2.extend(campaign.observations)
@@ -46,10 +49,16 @@ def run_probing(world: World, malnet: MalNet) -> ProbingCampaign:
 
 
 def run_study(
-    world: World, config: PipelineConfig | None = None
+    world: World, config: PipelineConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> tuple[MalNet, ProbingCampaign, Datasets]:
     """Execute the complete measurement study on a generated world."""
-    malnet = MalNet(world, config)
-    malnet.run()
-    campaign = run_probing(world, malnet)
+    telemetry = telemetry or NULL_TELEMETRY
+    malnet = MalNet(world, config, telemetry=telemetry)
+    telemetry.events.emit("study.start", scale=world.scale.sample_fraction)
+    with telemetry.tracer.span("study.pipeline"):
+        malnet.run()
+    with telemetry.tracer.span("study.probing"):
+        campaign = run_probing(world, malnet, telemetry)
+    telemetry.events.emit("study.complete", sizes=dict(malnet.datasets.summary()))
     return malnet, campaign, malnet.datasets

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from ..binary.builder import MalwareSample
 from ..intel.vendors import IocIntel, VendorDirectory
+from ..obs import LATENCY_BUCKETS, NULL_TELEMETRY, Telemetry
 from .yara import RuleSet, community_iot_rules
 
 ENGINE_COUNT = 75
@@ -80,10 +81,12 @@ class FeedEntry:
 class VirusTotalService:
     """Deterministic VT stand-in: scans, feed, and vendor-backed TI."""
 
-    def __init__(self, rng: random.Random, rules: RuleSet | None = None):
+    def __init__(self, rng: random.Random, rules: RuleSet | None = None,
+                 telemetry: Telemetry | None = None):
         self._rng = rng
         self.rules = rules or community_iot_rules()
         self.vendors = VendorDirectory()
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._feed: list[FeedEntry] = []
         self._by_hash: dict[str, FeedEntry] = {}
         self._intel: dict[str, IocIntel] = {}
@@ -148,7 +151,16 @@ class VirusTotalService:
 
     def feed_between(self, start: float, end: float) -> list[FeedEntry]:
         """Feed entries published in [start, end) — the daily pull."""
-        return [e for e in self._feed if start <= e.published < end]
+        entries = [e for e in self._feed if start <= e.published < end]
+        if entries:
+            latency = self.telemetry.metrics.histogram(
+                "feed_latency_seconds",
+                "submission-to-publication latency seen by the daily pull",
+                labelnames=("feed",), buckets=LATENCY_BUCKETS,
+            ).labels(feed="virustotal")
+            for entry in entries:
+                latency.observe(entry.published - entry.submitted)
+        return entries
 
     def lookup_hash(self, sha256: str) -> FeedEntry | None:
         return self._by_hash.get(sha256)

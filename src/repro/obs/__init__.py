@@ -1,0 +1,58 @@
+"""Observability: metrics, stage tracing, and structured events.
+
+The MalNet reproduction is a year-long daily measurement loop; this
+package is its nervous system.  Four pieces, all stdlib-only:
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms,
+  with Prometheus-style label support;
+* :class:`Tracer` — ``with tracer.span("sandbox.analyze", ...)`` stage
+  spans recording wall-clock *and* simulation-clock time in a trace tree;
+* :class:`EventLog` — leveled structured events with a JSON-lines sink;
+* exporters — Prometheus text format and a JSON snapshot.
+
+Everything is off by default: instrumented code takes a ``telemetry``
+argument defaulting to :data:`NULL_TELEMETRY`, whose operations are
+no-ops.  See :func:`create_telemetry` to switch it on.
+"""
+
+from .events import LEVELS, EventLog, NullEventLog
+from .exporters import escape_label_value, to_prometheus
+from .metrics import (
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LabelCardinalityError,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry, create_telemetry
+from .tracing import NullTracer, Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "LEVELS",
+    "NULL_TELEMETRY",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "MetricError",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullEventLog",
+    "NullRegistry",
+    "NullTelemetry",
+    "NullTracer",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "create_telemetry",
+    "escape_label_value",
+    "to_prometheus",
+]

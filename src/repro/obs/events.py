@@ -1,0 +1,79 @@
+"""Structured event log: leveled JSON-lines records instead of prints.
+
+Every record carries a wall timestamp, the simulation-clock instant when
+a clock is bound, a level, the event name, and arbitrary keyword fields::
+
+    events.emit("pipeline.day", day=12, collected=7)
+    events.write_jsonl("telemetry/events.jsonl")
+
+Events below the threshold level are dropped at emit time; the in-memory
+buffer is capped so a year-long study cannot exhaust memory (overflow is
+counted, not silently lost).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable
+
+__all__ = ["EventLog", "NullEventLog", "LEVELS"]
+
+LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class EventLog:
+    """Buffered structured log with level filtering and a JSONL sink."""
+
+    enabled = True
+
+    def __init__(self, level: str = "info",
+                 sim_clock: Callable[[], float] | None = None,
+                 max_events: int = 100_000):
+        if level not in LEVELS:
+            raise ValueError(f"unknown level: {level!r}")
+        self.threshold = LEVELS[level]
+        self.sim_clock = sim_clock
+        self.max_events = max_events
+        self.events: list[dict] = []
+        self.dropped = 0
+
+    def emit(self, event: str, level: str = "info", **fields) -> None:
+        if LEVELS.get(level, 0) < self.threshold:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        record: dict = {"ts": time.time(), "level": level, "event": event}
+        if self.sim_clock is not None:
+            record["sim"] = self.sim_clock()
+        record.update(fields)
+        self.events.append(record)
+
+    def debug(self, event: str, **fields) -> None:
+        self.emit(event, level="debug", **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.emit(event, level="warning", **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.emit(event, level="error", **fields)
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the buffer as JSON lines; returns the record count."""
+        with open(path, "w", encoding="utf-8") as sink:
+            for record in self.events:
+                sink.write(json.dumps(record, default=str) + "\n")
+        return len(self.events)
+
+
+class NullEventLog(EventLog):
+    """Disabled log: emit is a no-op, nothing is buffered."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(max_events=0)
+
+    def emit(self, event: str, level: str = "info", **fields) -> None:
+        pass

@@ -1,0 +1,76 @@
+"""Exporters: Prometheus text format (0.0.4) and the JSON snapshot.
+
+``to_prometheus`` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+as scrape-ready text — ``# HELP`` / ``# TYPE`` headers, escaped label
+values, cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``
+for histograms.  The JSON snapshot bundles metrics, per-stage span
+aggregates, the trace tree, and event-log accounting into one plain-dict
+document suitable for ``json.dump``.
+"""
+
+from __future__ import annotations
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = ["escape_label_value", "to_prometheus", "snapshot"]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: dict[str, str], extra: tuple[str, str] | None = None) -> str:
+    pairs = [(k, v) for k, v in labels.items()]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{escape_label_value(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family in the registry as Prometheus text."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} "
+                         f"{family.help.replace(chr(10), ' ')}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.series():
+            if isinstance(child, Histogram):
+                upper = [str(b) for b in child.buckets] + ["+Inf"]
+                for le, total in zip(upper, child.cumulative()):
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_labels_text(labels, ('le', le))} {total}"
+                    )
+                lines.append(f"{family.name}_sum{_labels_text(labels)} "
+                             f"{_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{_labels_text(labels)} "
+                             f"{child.count}")
+            else:
+                lines.append(f"{family.name}{_labels_text(labels)} "
+                             f"{_format_value(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(telemetry) -> dict:
+    """The full JSON-ready telemetry snapshot."""
+    tracer = telemetry.tracer
+    events = telemetry.events
+    return {
+        "metrics": telemetry.metrics.snapshot(),
+        "spans": tracer.aggregate(),
+        "trace": tracer.tree(),
+        "events": {"recorded": len(events.events), "dropped": events.dropped},
+    }

@@ -1,0 +1,303 @@
+"""Metric primitives: counters, gauges, and fixed-bucket histograms.
+
+Zero-dependency, allocation-light telemetry core.  A *metric family* is
+created once (get-or-create on the registry) and carries a fixed set of
+label names; each distinct label-value combination materialises one child
+series on first use.  The disabled path (:class:`NullRegistry`) hands
+back a shared no-op metric so instrumented code never branches on
+"is telemetry on".
+
+Semantics follow the Prometheus data model: counters only go up, gauges
+move freely, histograms count observations into fixed ``le`` buckets and
+track ``sum``/``count``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "MetricError",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_METRIC",
+]
+
+#: Prometheus' classic duration buckets (seconds).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Feed publication latencies span minutes to a full day (§2.2).
+LATENCY_BUCKETS: tuple[float, ...] = (
+    60.0, 300.0, 900.0, 3600.0, 2 * 3600.0, 4 * 3600.0, 8 * 3600.0,
+    12 * 3600.0, 18 * 3600.0, 24 * 3600.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+class MetricError(ValueError):
+    """Misuse of the metrics API (bad name, type clash, bad labels)."""
+
+
+class LabelCardinalityError(MetricError):
+    """A family exceeded its configured maximum number of label sets."""
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations.
+
+    ``counts[i]`` counts observations with ``value <= buckets[i]`` minus
+    those in earlier buckets (i.e. non-cumulative); the final slot is the
+    ``+Inf`` overflow bucket.  :meth:`cumulative` produces the Prometheus
+    cumulative view.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        """Cumulative per-bucket counts, ending with the +Inf total."""
+        running, out = 0, []
+        for n in self.counts:
+            running += n
+            out.append(running)
+        return out
+
+    def snapshot(self) -> dict:
+        upper = [str(b) for b in self.buckets] + ["+Inf"]
+        return {
+            "buckets": dict(zip(upper, self.cumulative())),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and child series."""
+
+    def __init__(self, name: str, kind: str, help: str,
+                 labelnames: tuple[str, ...], make_child,
+                 max_label_sets: int):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = labelnames
+        self._make_child = make_child
+        self._max_label_sets = max_label_sets
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def labels(self, **labels):
+        """The child series for one label-value combination (created lazily)."""
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        child = self._series.get(key)
+        if child is None:
+            if len(self._series) >= self._max_label_sets:
+                raise LabelCardinalityError(
+                    f"{self.name}: more than {self._max_label_sets} label sets"
+                )
+            child = self._make_child()
+            self._series[key] = child
+        return child
+
+    def _default(self):
+        if self.labelnames:
+            raise MetricError(f"{self.name}: label values required")
+        return self.labels()
+
+    # unlabelled convenience: counter("x").inc() etc.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def series(self):
+        """Iterate ``(labels_dict, child)`` sorted by label values."""
+        for key in sorted(self._series):
+            yield dict(zip(self.labelnames, key)), self._series[key]
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": [
+                {"labels": labels, "value": child.snapshot()}
+                for labels, child in self.series()
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of metric families."""
+
+    enabled = True
+
+    def __init__(self, max_label_sets: int = 1024):
+        self._max_label_sets = max_label_sets
+        self._families: dict[str, MetricFamily] = {}
+
+    def _family(self, name: str, kind: str, help: str,
+                labelnames: tuple[str, ...], make_child) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name: {name!r}")
+        labelnames = tuple(labelnames)
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.labelnames != labelnames:
+                raise MetricError(
+                    f"{name}: already registered as {existing.kind}"
+                    f"{existing.labelnames}, requested {kind}{labelnames}"
+                )
+            return existing
+        family = MetricFamily(name, kind, help, labelnames, make_child,
+                              self._max_label_sets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, "counter", help, labelnames, Counter)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, "gauge", help, labelnames, Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> MetricFamily:
+        buckets = tuple(float(b) for b in buckets)
+        if list(buckets) != sorted(set(buckets)):
+            raise MetricError("histogram buckets must be strictly increasing")
+        family = self._family(name, "histogram", help, labelnames,
+                              lambda: Histogram(buckets))
+        return family
+
+    def get(self, name: str) -> MetricFamily | None:
+        return self._families.get(name)
+
+    def families(self) -> list[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def value(self, name: str, **labels) -> float:
+        """Read one counter/gauge series (0.0 when never touched)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        key = tuple(str(labels[n]) for n in family.labelnames)
+        child = family._series.get(key)
+        return child.value if child is not None else 0.0
+
+    def snapshot(self) -> dict:
+        return {f.name: f.snapshot() for f in self.families()}
+
+
+class _NullMetric:
+    """Shared do-nothing stand-in for every metric type."""
+
+    __slots__ = ()
+
+    def labels(self, **labels):
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every family is the shared no-op metric."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(max_label_sets=0)
+
+    def counter(self, name, help="", labelnames=()):
+        return NULL_METRIC
+
+    def gauge(self, name, help="", labelnames=()):
+        return NULL_METRIC
+
+    def histogram(self, name, help="", labelnames=(), buckets=DEFAULT_BUCKETS):
+        return NULL_METRIC

@@ -1,0 +1,88 @@
+"""The telemetry facade: one object bundling metrics + tracing + events.
+
+Instrumented code takes a ``telemetry`` parameter defaulting to
+:data:`NULL_TELEMETRY`, whose every operation is a no-op — the default
+study run pays only attribute lookups.  Enable it with
+:func:`create_telemetry` and hand the same instance to everything that
+should share a registry:
+
+    telemetry = create_telemetry()
+    malnet, campaign, datasets = run_study(world, telemetry=telemetry)
+    telemetry.write("out/telemetry")         # snapshot.json, events.jsonl,
+                                             # metrics.prom
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable
+
+from .events import EventLog, NullEventLog
+from .exporters import snapshot as _snapshot, to_prometheus
+from .metrics import MetricsRegistry, NullRegistry
+from .tracing import NullTracer, Tracer
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY", "create_telemetry"]
+
+
+class Telemetry:
+    """Live telemetry: a registry, a tracer, and an event log."""
+
+    enabled = True
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None,
+                 events: EventLog | None = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.events = events if events is not None else EventLog()
+
+    def bind_sim_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulation clock so spans/events carry sim time."""
+        self.tracer.sim_clock = clock
+        self.events.sim_clock = clock
+
+    def snapshot(self) -> dict:
+        return _snapshot(self)
+
+    def write(self, directory: str) -> dict[str, str]:
+        """Persist snapshot + events + Prometheus text under ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        paths = {
+            "snapshot": os.path.join(directory, "snapshot.json"),
+            "events": os.path.join(directory, "events.jsonl"),
+            "prometheus": os.path.join(directory, "metrics.prom"),
+        }
+        with open(paths["snapshot"], "w", encoding="utf-8") as sink:
+            json.dump(self.snapshot(), sink, indent=2, default=str)
+            sink.write("\n")
+        self.events.write_jsonl(paths["events"])
+        with open(paths["prometheus"], "w", encoding="utf-8") as sink:
+            sink.write(to_prometheus(self.metrics))
+        return paths
+
+
+class NullTelemetry(Telemetry):
+    """Disabled telemetry: all three components are no-ops."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(metrics=NullRegistry(), tracer=NullTracer(),
+                         events=NullEventLog())
+
+    def bind_sim_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def write(self, directory: str) -> dict[str, str]:
+        return {}
+
+
+#: Shared disabled instance — the default for every instrumented API.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def create_telemetry(level: str = "info") -> Telemetry:
+    """A fresh enabled telemetry bundle with the given event level."""
+    return Telemetry(events=EventLog(level=level))

@@ -1,0 +1,148 @@
+"""Span-based stage tracing with wall-clock *and* simulation-clock time.
+
+The pipeline runs against a simulated Internet whose clock jumps days at
+a time, so a stage has two durations that matter: how long it took the
+host CPU (wall seconds) and how much simulated time elapsed inside it
+(sim seconds — can be negative when a stage rewinds the clock, as the
+parallel-sandbox model does).  Spans nest into a trace tree::
+
+    with tracer.span("sandbox.analyze", sha256=digest) as span:
+        ...
+        span.set_attribute("activated", True)
+
+Every finished span updates a per-name aggregate (count / wall / sim);
+the tree itself is kept up to ``keep_spans`` spans so a full-scale study
+cannot balloon memory — the aggregate keeps counting past the cap.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_SPAN"]
+
+
+class Span:
+    """One traced stage; usable as a context manager via the tracer."""
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict):
+        self.name = name
+        self.attributes = attributes
+        self.children: list[Span] = []
+        self.wall_elapsed = 0.0
+        self.sim_elapsed = 0.0
+        self._tracer = tracer
+        self._wall_start = 0.0
+        self._sim_start = 0.0
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self._wall_start = time.perf_counter()
+        clock = self._tracer.sim_clock
+        self._sim_start = clock() if clock is not None else 0.0
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_elapsed = time.perf_counter() - self._wall_start
+        clock = self._tracer.sim_clock
+        if clock is not None:
+            self.sim_elapsed = clock() - self._sim_start
+        self._tracer._pop(self)
+
+    def to_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "wall_seconds": self.wall_elapsed,
+            "sim_seconds": self.sim_elapsed,
+        }
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.children:
+            record["children"] = [child.to_dict() for child in self.children]
+        return record
+
+
+class Tracer:
+    """Builds the trace tree and the per-stage aggregate."""
+
+    enabled = True
+
+    def __init__(self, sim_clock: Callable[[], float] | None = None,
+                 keep_spans: int = 10_000):
+        self.sim_clock = sim_clock
+        self.keep_spans = keep_spans
+        self.roots: list[Span] = []
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self._kept = 0
+        self._aggregate: dict[str, list[float]] = {}  # name -> [n, wall, sim]
+
+    def span(self, name: str, **attributes) -> Span:
+        return Span(self, name, attributes)
+
+    # -- called by Span ------------------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        stat = self._aggregate.setdefault(span.name, [0, 0.0, 0.0])
+        stat[0] += 1
+        stat[1] += span.wall_elapsed
+        stat[2] += span.sim_elapsed
+        if self._kept >= self.keep_spans:
+            self.dropped += 1
+            return
+        self._kept += 1
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    # -- views ---------------------------------------------------------------
+
+    def aggregate(self) -> dict[str, dict[str, float]]:
+        """Per-stage totals: ``{name: {count, wall_seconds, sim_seconds}}``."""
+        return {
+            name: {"count": n, "wall_seconds": wall, "sim_seconds": sim}
+            for name, (n, wall, sim) in sorted(self._aggregate.items())
+        }
+
+    def tree(self) -> list[dict]:
+        return [root.to_dict() for root in self.roots]
+
+
+class _NullSpan:
+    """Shared no-op span for the disabled tracer."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: hands out the shared no-op span."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(keep_spans=0)
+
+    def span(self, name: str, **attributes):
+        return NULL_SPAN

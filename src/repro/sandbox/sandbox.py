@@ -30,6 +30,7 @@ from ..botnet.protocols.base import AttackCommand
 from ..netsim.addresses import ip_to_int
 from ..netsim.capture import Capture
 from ..netsim.internet import VirtualInternet
+from ..obs import NULL_TELEMETRY, Telemetry
 from .handshaker import ExploitCapture, Handshaker
 from .inetsim import FakeInternetAdapter
 from .qemu import ActivationError, EmulationError, EmulatedProcess, MipsEmulator
@@ -114,29 +115,48 @@ class CncHunterSandbox:
         internet: VirtualInternet | None = None,
         bot_ip: int = SANDBOX_IP,
         emulator: MipsEmulator | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.rng = rng
         self.internet = internet
         self.bot_ip = bot_ip
         self.emulator = emulator or MipsEmulator(rng)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        self._m_activations = metrics.counter(
+            "sandbox_activations", "offline activation attempts by outcome",
+            labelnames=("outcome",))
+        self._m_handshaker = metrics.counter(
+            "handshaker_captures", "exploit payloads captured by the handshaker")
+        self._m_probe_attempts = metrics.counter(
+            "probe_attempts", "weaponized C2 probes sent", labelnames=("port",))
+        self._m_probe_responses = metrics.counter(
+            "probe_responses", "weaponized C2 probes that engaged",
+            labelnames=("port",))
 
     # -- mode 1: offline analysis ------------------------------------------------
 
     def analyze_offline(self, data: bytes, scan_budget: int = 120) -> OfflineReport:
         """Closed-world activation, C2 detection and exploit extraction."""
-        try:
-            process = self.emulator.run(data, self.bot_ip)
-        except EmulationError:
-            raise
-        except ActivationError:
-            return OfflineReport(
-                sha256=hashlib.sha256(data).hexdigest(), activated=False,
-                yara_input=data,
-            )
-        report = OfflineReport(sha256=process.sha256, activated=True,
-                               yara_input=data)
-        self._run_c2_phase(process, report)
-        self._run_exploit_phase(process, report, scan_budget)
+        with self.telemetry.tracer.span("sandbox.analyze") as span:
+            try:
+                process = self.emulator.run(data, self.bot_ip)
+            except EmulationError:
+                self._m_activations.labels(outcome="unloadable").inc()
+                raise
+            except ActivationError:
+                self._m_activations.labels(outcome="evaded").inc()
+                return OfflineReport(
+                    sha256=hashlib.sha256(data).hexdigest(), activated=False,
+                    yara_input=data,
+                )
+            self._m_activations.labels(outcome="activated").inc()
+            span.set_attribute("sha256", process.sha256)
+            report = OfflineReport(sha256=process.sha256, activated=True,
+                                   yara_input=data)
+            self._run_c2_phase(process, report)
+            self._run_exploit_phase(process, report, scan_budget)
+            self._m_handshaker.inc(len(report.exploits))
         return report
 
     def _run_c2_phase(self, process: EmulatedProcess, report: OfflineReport) -> None:
@@ -177,6 +197,8 @@ class CncHunterSandbox:
         """Weaponize the binary to probe ip:port targets for live C2s."""
         if self.internet is None:
             raise RuntimeError("probing requires a live internet")
+        for _ip, port in targets:
+            self._m_probe_attempts.labels(port=port).inc()
         try:
             process = self.emulator.run(data, self.bot_ip)
         except ActivationError:
@@ -192,6 +214,8 @@ class CncHunterSandbox:
                 continue
             response = bot.server_bytes + session.recv()
             session.close()
+            if response:
+                self._m_probe_responses.labels(port=port).inc()
             results.append(
                 ProbeResult(ip, port, engaged=bool(response), response=response)
             )
@@ -210,6 +234,14 @@ class CncHunterSandbox:
         if self.internet is None:
             raise RuntimeError("live observation requires a live internet")
         sha256 = hashlib.sha256(data).hexdigest()
+        with self.telemetry.tracer.span("sandbox.observe_live", sha256=sha256):
+            return self._observe_live(data, sha256, duration, poll_interval,
+                                      max_attack_packets)
+
+    def _observe_live(
+        self, data: bytes, sha256: str, duration: float,
+        poll_interval: float, max_attack_packets: int,
+    ) -> LiveReport:
         try:
             process = self.emulator.run(data, self.bot_ip)
         except ActivationError:

@@ -87,3 +87,48 @@ class TestParser:
     def test_unknown_scale(self):
         with pytest.raises(SystemExit):
             run_cli("--scale", "galactic", "study")
+
+
+class TestTelemetryFlag:
+    def test_study_writes_snapshot_events_and_prom(self, tmp_path):
+        import json
+
+        target = tmp_path / "telemetry"
+        code, text = run_cli("--scale", "smoke", "--seed", "3",
+                             "study", "--telemetry", str(target))
+        assert code == 0
+        assert f"# telemetry written to {target}" in text
+        snapshot = json.loads((target / "snapshot.json").read_text())
+        metrics = snapshot["metrics"]
+        for counter in ("samples_collected", "samples_verified",
+                        "samples_activated", "c2_liveness_probes"):
+            assert metrics[counter]["series"], counter
+        assert snapshot["spans"]["pipeline.run_day"]["count"] > 0
+        assert snapshot["spans"]["sandbox.analyze"]["wall_seconds"] >= 0
+        lines = (target / "events.jsonl").read_text().splitlines()
+        assert lines and all(json.loads(line)["event"] for line in lines)
+        prom = (target / "metrics.prom").read_text()
+        assert "# TYPE samples_collected counter" in prom
+
+    def test_study_output_unchanged_without_flag(self):
+        _c, plain = run_cli("--scale", "smoke", "--seed", "3", "study")
+        assert "telemetry" not in plain
+
+    def test_report_accepts_flag(self, tmp_path):
+        target = tmp_path / "t"
+        code, _text = run_cli("--scale", "smoke", "report",
+                              "--telemetry", str(target))
+        assert code == 0
+        assert (target / "snapshot.json").exists()
+
+
+class TestStatsCommand:
+    def test_renders_stage_and_counter_tables(self):
+        code, text = run_cli("--scale", "smoke", "--seed", "3", "stats")
+        assert code == 0
+        assert "Pipeline stages" in text
+        assert "pipeline.run_day" in text
+        assert "sandbox.analyze" in text
+        assert "Counters" in text
+        assert "samples_collected" in text
+        assert "c2_liveness_probes{outcome=live}" in text

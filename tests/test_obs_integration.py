@@ -1,0 +1,139 @@
+"""End-to-end telemetry: a short study must emit sane, consistent metrics."""
+
+import json
+import re
+
+import pytest
+
+from repro.core.study import run_study
+from repro.obs import create_telemetry, to_prometheus
+from repro.world import StudyScale, generate_world
+
+
+@pytest.fixture(scope="module")
+def observed_study():
+    telemetry = create_telemetry()
+    world = generate_world(
+        seed=20220322,
+        scale=StudyScale(sample_fraction=0.05, probe_days=2,
+                         observe_duration=1800.0,
+                         observe_poll_interval=300.0, scan_budget=120),
+    )
+    malnet, campaign, datasets = run_study(world, telemetry=telemetry)
+    return telemetry, malnet, campaign, datasets
+
+
+class TestPipelineCounters:
+    def test_funnel_is_monotone(self, observed_study):
+        telemetry, _malnet, _campaign, _datasets = observed_study
+        metrics = telemetry.metrics
+        collected = metrics.value("samples_collected")
+        verified = metrics.value("samples_verified")
+        activated = metrics.value("samples_activated")
+        assert collected >= verified >= activated > 0
+
+    def test_activation_rate_near_configured(self, observed_study):
+        telemetry, malnet, _campaign, _datasets = observed_study
+        metrics = telemetry.metrics
+        attempted = (metrics.value("samples_verified")
+                     - metrics.value("emulation_errors"))
+        rate = metrics.value("samples_activated") / attempted
+        # ~0.90 configured; small-sample noise allowed
+        assert 0.7 <= rate <= 1.0
+        assert malnet.config.activation_rate == 0.90
+
+    def test_counters_match_datasets(self, observed_study):
+        telemetry, _malnet, _campaign, datasets = observed_study
+        metrics = telemetry.metrics
+        assert metrics.value("c2_records") == len(datasets.d_c2s)
+        assert metrics.value("exploit_records") == len(datasets.d_exploits)
+        assert metrics.value("ddos_records") == len(datasets.d_ddos)
+        live = metrics.value("c2_liveness_probes", outcome="live")
+        dead = metrics.value("c2_liveness_probes", outcome="dead")
+        assert live + dead > 0
+        live_profiles = sum(1 for p in datasets.profiles if p.c2_live_on_day0)
+        assert live == live_profiles
+
+    def test_sandbox_activation_outcomes(self, observed_study):
+        telemetry, _malnet, _campaign, _datasets = observed_study
+        metrics = telemetry.metrics
+        activated = metrics.value("sandbox_activations", outcome="activated")
+        assert activated == metrics.value("samples_activated")
+
+    def test_feed_latency_histograms_cover_both_feeds(self, observed_study):
+        telemetry, _malnet, _campaign, _datasets = observed_study
+        family = telemetry.metrics.get("feed_latency_seconds")
+        assert family is not None
+        feeds = {labels["feed"]: child for labels, child in family.series()}
+        assert set(feeds) == {"virustotal", "malwarebazaar"}
+        for child in feeds.values():
+            assert child.count > 0
+            # feed latency is bounded by a day (§2.2)
+            assert 0 <= child.sum / child.count <= 24 * 3600.0
+
+    def test_probe_counters_by_port(self, observed_study):
+        telemetry, _malnet, campaign, _datasets = observed_study
+        family = telemetry.metrics.get("probe_attempts")
+        attempts = sum(child.value for _labels, child in family.series())
+        assert attempts > 0
+        responses = telemetry.metrics.get("probe_responses")
+        engaged = sum(child.value for _labels, child in responses.series())
+        assert engaged <= attempts
+
+
+class TestStageSpans:
+    def test_per_stage_timings_present(self, observed_study):
+        telemetry, _malnet, campaign, _datasets = observed_study
+        agg = telemetry.tracer.aggregate()
+        assert agg["study.pipeline"]["count"] == 1
+        assert agg["study.probing"]["count"] == 1
+        from repro.world.calibration import ACTIVE_WEEKS
+
+        assert agg["pipeline.run_day"]["count"] == ACTIVE_WEEKS * 7 + 60
+        assert agg["probing.slot"]["count"] == campaign.total_slots
+        assert agg["sandbox.analyze"]["count"] >= \
+            telemetry.metrics.value("samples_activated")
+        for stat in agg.values():
+            assert stat["wall_seconds"] >= 0.0
+
+    def test_spans_record_simulation_time(self, observed_study):
+        telemetry, _malnet, _campaign, _datasets = observed_study
+        agg = telemetry.tracer.aggregate()
+        # the daily loop advances the simulated clock by months overall
+        assert agg["study.pipeline"]["sim_seconds"] > 24 * 3600.0
+
+    def test_trace_tree_nests_days_under_pipeline(self, observed_study):
+        telemetry, _malnet, _campaign, _datasets = observed_study
+        roots = [root.name for root in telemetry.tracer.roots]
+        assert "study.pipeline" in roots
+        pipeline_root = telemetry.tracer.roots[roots.index("study.pipeline")]
+        child_names = {c.name for c in pipeline_root.children}
+        assert "pipeline.run_day" in child_names
+
+
+class TestExportOfRealStudy:
+    def test_prometheus_parses_line_by_line(self, observed_study):
+        telemetry, _malnet, _campaign, _datasets = observed_study
+        from tests.test_obs import PROM_SAMPLE_RE
+
+        text = to_prometheus(telemetry.metrics)
+        assert "# TYPE samples_collected counter" in text
+        assert "# TYPE feed_latency_seconds histogram" in text
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*", line)
+                continue
+            assert PROM_SAMPLE_RE.match(line), line
+
+    def test_snapshot_is_json_serializable(self, observed_study):
+        telemetry, _malnet, _campaign, _datasets = observed_study
+        snapshot = json.loads(json.dumps(telemetry.snapshot(), default=str))
+        assert snapshot["metrics"]["samples_collected"]["series"]
+        assert snapshot["events"]["recorded"] > 0
+
+    def test_events_include_study_lifecycle(self, observed_study):
+        telemetry, _malnet, _campaign, _datasets = observed_study
+        names = [e["event"] for e in telemetry.events.events]
+        assert names[0] == "study.start"
+        assert "study.complete" in names
+        assert any(n == "pipeline.day" for n in names)
