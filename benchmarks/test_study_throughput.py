@@ -1,0 +1,90 @@
+"""Macro benchmark: sharded study runner throughput.
+
+Measures end-to-end ``run_study`` throughput serial vs parallel and the
+pipeline's shard scalability.  Two speedup numbers land in
+``extra_info``:
+
+* ``speedup_vs_serial`` — wall-clock, pool included.  Only meaningful on
+  multi-core machines; a single-core container shows pool overhead.
+* ``critical_path_speedup`` — serial pipeline time over the slowest
+  4-way shard's time, with every shard run in-process.  This is the
+  machine-independent measure of how well the sha256 partition divides
+  the work (the wall-clock speedup an unloaded 4-core box approaches),
+  and is asserted >= 1.5.
+"""
+
+import os
+import time
+
+from repro.core.pipeline import MalNet, PipelineConfig
+from repro.core.study import run_study
+from repro.world import StudyScale, generate_world
+
+SCALE = StudyScale(sample_fraction=0.3, probe_days=4,
+                   observe_duration=1800.0, observe_poll_interval=300.0,
+                   scan_budget=120)
+SEED = 20220322
+
+
+def _timed_study(workers=None):
+    world = generate_world(seed=SEED, scale=SCALE)
+    start = time.perf_counter()
+    _malnet, _campaign, datasets = run_study(world, workers=workers)
+    return time.perf_counter() - start, datasets
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_study_throughput_serial(benchmark):
+    elapsed, datasets = benchmark.pedantic(_timed_study, rounds=1,
+                                           iterations=1)
+    samples = len(datasets.profiles)
+    benchmark.extra_info["samples"] = samples
+    benchmark.extra_info["samples_per_second"] = round(samples / elapsed, 2)
+
+
+def test_study_throughput_two_workers(benchmark):
+    serial_elapsed, serial_datasets = _timed_study()
+    elapsed, datasets = benchmark.pedantic(_timed_study, args=(2,),
+                                           rounds=1, iterations=1)
+    # the merged parallel output must be the serial output, bit for bit
+    assert datasets == serial_datasets
+    samples = len(datasets.profiles)
+    benchmark.extra_info["samples"] = samples
+    benchmark.extra_info["samples_per_second"] = round(samples / elapsed, 2)
+    benchmark.extra_info["speedup_vs_serial"] = \
+        round(serial_elapsed / elapsed, 2)
+    benchmark.extra_info["cpus"] = _cpus()
+
+
+def test_shard_critical_path_speedup(benchmark):
+    """The 4-way partition must cut the slowest shard's work >= 1.5x."""
+    world = generate_world(seed=SEED, scale=SCALE)
+    start = time.perf_counter()
+    MalNet(world).run()
+    serial_elapsed = time.perf_counter() - start
+
+    def shard_times() -> list[float]:
+        times = []
+        for index in range(4):
+            shard_world = generate_world(seed=SEED, scale=SCALE)
+            malnet = MalNet(shard_world, PipelineConfig(
+                shard_index=index, shard_count=4))
+            start = time.perf_counter()
+            malnet.run()
+            times.append(time.perf_counter() - start)
+        return times
+
+    times = benchmark.pedantic(shard_times, rounds=1, iterations=1)
+    speedup = serial_elapsed / max(times)
+    benchmark.extra_info["serial_seconds"] = round(serial_elapsed, 3)
+    benchmark.extra_info["shard_seconds"] = [round(t, 3) for t in times]
+    benchmark.extra_info["critical_path_speedup"] = round(speedup, 2)
+    assert speedup >= 1.5, (
+        f"4-way sharding only cut the critical path {speedup:.2f}x "
+        f"(shard times: {times})")

@@ -63,13 +63,21 @@ def _build_parser() -> argparse.ArgumentParser:
             help="write snapshot.json / events.jsonl / metrics.prom "
                  "under this directory")
 
+    def workers_flag(subparser):
+        subparser.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="shard the daily pipeline over N worker processes "
+                 "(default: in-process serial; results are identical)")
+
     study = sub.add_parser("study", help="run the study and print Table 1 + stats")
     telemetry_flag(study)
+    workers_flag(study)
 
     report = sub.add_parser("report", help="render selected tables/figures")
     report.add_argument("--what", nargs="+", choices=REPORT_CHOICES,
                         default=["table1"], help="items to render")
     telemetry_flag(report)
+    workers_flag(report)
 
     stats = sub.add_parser(
         "stats", help="run the study with telemetry on and print the "
@@ -123,7 +131,11 @@ def _finish_telemetry(out, telemetry: Telemetry, path: str | None) -> None:
 
 def _run(args, telemetry: Telemetry = NULL_TELEMETRY) -> tuple:
     world = generate_world(seed=args.seed, scale=SCALES[args.scale])
-    malnet, campaign, datasets = run_study(world, telemetry=telemetry)
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 0:
+        raise SystemExit(f"repro: --workers must be >= 0, got {workers}")
+    malnet, campaign, datasets = run_study(world, telemetry=telemetry,
+                                           workers=workers)
     return world, malnet, campaign, datasets
 
 

@@ -1,0 +1,167 @@
+"""Sharded parallel execution of the daily pipeline (§2.2's fleet).
+
+MalNet ran four CnCHunter sandboxes side by side, each analyzing its own
+slice of the day's binaries.  This module reproduces that topology with
+real processes: samples are partitioned by sha256
+(:func:`~repro.determinism.shard_of`), each worker runs the full
+:class:`~repro.core.pipeline.MalNet` pipeline over its shard against its
+own copy of the world, and the parent merges the shard outputs with
+:meth:`Datasets.merge <repro.core.datasets.Datasets.merge>`.
+
+The hard invariant: **the merged parallel output is byte-identical to the
+serial run** on the same ``(seed, scale)``.  Three properties carry it:
+
+* every behavioral coin in the simulation is hash-derived, and the two
+  shared RNG streams (sandbox + virtual internet) are reseeded per sample
+  from ``(world seed, sha256)`` (:meth:`MalNet._reseed_for`), so a
+  binary's analysis is a pure function of the sample;
+* sharding by sha256 keeps deduplication shard-local: every occurrence of
+  a hash lands in the same shard, so no worker needs another's seen-set;
+* records carry ``origin`` tuples fixing their global creation order,
+  which lets the merge reconstruct the serial insertion order exactly.
+
+Workers are spawned with the ``fork`` start method where available so the
+already-generated world is inherited copy-on-write instead of being
+rebuilt; each worker process runs exactly one shard task
+(``maxtasksperchild=1``) so no task sees a world mutated by a previous
+one.  Without ``fork`` the worker regenerates the world from
+``(seed, scale)`` — same bytes either way, world generation is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+
+from ..obs import MetricsRegistry, NullEventLog, NullTracer, Telemetry
+from ..world.generator import World
+from .datasets import Datasets
+from .pipeline import MalNet, PipelineConfig
+
+__all__ = ["ShardedStudyRunner", "ShardResult", "fold_counters"]
+
+#: world snapshot inherited by fork()ed workers; ``None`` under spawn
+_FORK_WORLD: World | None = None
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """One worker's output: its shard's datasets plus metric totals."""
+
+    shard_index: int
+    datasets: Datasets
+    counters: dict
+
+
+def _run_shard(task) -> ShardResult:
+    """Worker entry point: run the pipeline over one shard.
+
+    Runs in a child process.  Uses the fork-inherited world snapshot when
+    there is one, otherwise regenerates it from ``(seed, scale)``.  The
+    worker keeps metrics (counter totals survive the merge) but drops
+    tracing and events — those stay per-process.
+    """
+    seed, scale, config = task
+    world = _FORK_WORLD
+    if world is None:
+        from ..world import generate_world
+
+        world = generate_world(seed=seed, scale=scale)
+    telemetry = Telemetry(metrics=MetricsRegistry(), tracer=NullTracer(),
+                          events=NullEventLog())
+    malnet = MalNet(world, config, telemetry=telemetry)
+    malnet.run()
+    return ShardResult(
+        shard_index=config.shard_index,
+        datasets=malnet.datasets,
+        counters=telemetry.metrics.snapshot(),
+    )
+
+
+def fold_counters(metrics, snapshot: dict, exclude: tuple = ()) -> None:
+    """Add a worker's counter totals into a parent registry.
+
+    Only counters are summable across processes; gauges and histograms
+    from worker snapshots are dropped (the parent's own instruments keep
+    covering those).  ``exclude`` names counters whose per-shard values
+    must not be summed — creation counters for records deduplicated
+    *across* shards, which the merge re-counts from the merged result.
+    """
+    for name, family in snapshot.items():
+        if family["type"] != "counter" or name in exclude:
+            continue
+        dest = metrics.counter(name, family["help"],
+                               tuple(family["labelnames"]))
+        for series in family["series"]:
+            if series["value"]:
+                dest.labels(**series["labels"]).inc(series["value"])
+
+
+class ShardedStudyRunner:
+    """Runs the daily pipeline across N sha256-sharded worker processes.
+
+    Usage is two-phase so the parent can do useful work (the probing
+    campaign) while the pool grinds through the shards::
+
+        runner = ShardedStudyRunner(world, workers=4).start()
+        ...                       # parent-side work overlaps the pool
+        shards = runner.join()    # [ShardResult, ...] in shard order
+    """
+
+    def __init__(self, world: World, workers: int,
+                 config: PipelineConfig | None = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if world.seed is None:
+            raise ValueError(
+                "sharded execution needs a seeded world: workers derive "
+                "their randomness from (world.seed, sha256)")
+        self.world = world
+        self.workers = workers
+        self.config = config or PipelineConfig()
+        self._pool = None
+        self._result = None
+
+    def _shard_configs(self) -> list[PipelineConfig]:
+        return [
+            dataclasses.replace(self.config, shard_index=index,
+                                shard_count=self.workers)
+            for index in range(self.workers)
+        ]
+
+    def start(self) -> "ShardedStudyRunner":
+        """Fork the pool and dispatch one task per shard (non-blocking)."""
+        global _FORK_WORLD
+        if self._pool is not None:
+            raise RuntimeError("runner already started")
+        try:
+            context = multiprocessing.get_context("fork")
+            _FORK_WORLD = self.world
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context()
+        tasks = [(self.world.seed, self.world.scale, config)
+                 for config in self._shard_configs()]
+        self._pool = context.Pool(processes=self.workers,
+                                  maxtasksperchild=1)
+        self._result = self._pool.map_async(_run_shard, tasks, chunksize=1)
+        self._pool.close()
+        return self
+
+    def join(self) -> list[ShardResult]:
+        """Wait for every shard; returns results ordered by shard index."""
+        global _FORK_WORLD
+        if self._result is None:
+            raise RuntimeError("runner not started")
+        try:
+            shards = self._result.get()
+        finally:
+            self._pool.join()
+            self._pool = None
+            self._result = None
+            _FORK_WORLD = None
+        return sorted(shards, key=lambda shard: shard.shard_index)
+
+    def run(self) -> list[ShardResult]:
+        """Blocking convenience: :meth:`start` then :meth:`join`."""
+        return self.start().join()

@@ -18,7 +18,6 @@ The output is :class:`~repro.core.datasets.Datasets`.
 
 from __future__ import annotations
 
-import hashlib
 import random
 from dataclasses import dataclass
 
@@ -31,6 +30,7 @@ from ..analysis.ddos_detect import (
 from ..binary.elf import ARCH_MACHINES, is_supported_elf
 from ..botnet.exploits import classify_exploit, extract_downloader, extract_loader
 from ..botnet.families import ATTACK_FAMILIES
+from ..determinism import shard_of, stable_seed
 from ..feeds.avclass import label_sample
 from ..feeds.virustotal import DETECTION_THRESHOLD
 from ..netsim.addresses import ip_to_int
@@ -57,6 +57,10 @@ class PipelineConfig:
     #: sandbox activation rate (§6f: the paper measures ~0.90); ablation
     #: knob for the "execution infrastructure" argument of §3.3
     activation_rate: float = 0.90
+    #: sharded execution (repro.core.parallel): this pipeline only analyzes
+    #: samples whose sha256 maps to ``shard_index`` of ``shard_count``
+    shard_index: int = 0
+    shard_count: int = 1
 
 
 class MalNet:
@@ -72,6 +76,11 @@ class MalNet:
         world.vt.telemetry = self.telemetry
         world.bazaar.telemetry = self.telemetry
         self._rng = random.Random(world.rng.getrandbits(32))
+        # base for the per-sample reseed: analysis randomness must depend
+        # only on (world seed, sha256) so that shard workers and the serial
+        # loop draw identical streams for every sample (see _reseed_for)
+        self._seed_base = world.seed if world.seed is not None \
+            else world.rng.getrandbits(32)
         self._machines = frozenset(
             ARCH_MACHINES[arch] for arch in self.config.architectures
         )
@@ -132,9 +141,10 @@ class MalNet:
             entries = self._collect(day_start, day_end)
             analysis_time = day_start + ANALYSIS_HOUR_OFFSET
             profiles: list[BinaryNetworkProfile] = []
-            for data, published, source in entries:
+            for sha256, data, published, source in entries:
                 self._set_clock(analysis_time)
-                profile = self._analyze_binary(data, published, day, source)
+                profile = self._analyze_binary(sha256, data, published, day,
+                                               source)
                 if profile is not None:
                     profiles.append(profile)
                     self.datasets.profiles.append(profile)
@@ -157,8 +167,15 @@ class MalNet:
 
     # -- collection ------------------------------------------------------------------
 
-    def _collect(self, start: float, end: float) -> list[tuple[bytes, float, str]]:
-        """Daily pull from both feeds: dedup, MIPS filter, >=5 engines."""
+    def _collect(
+        self, start: float, end: float
+    ) -> list[tuple[str, bytes, float, str]]:
+        """Daily pull from both feeds: shard filter, dedup, MIPS filter.
+
+        The feeds index entries by sha256, so the digest rides along from
+        here instead of being recomputed downstream (``_verify_and_label``
+        and the sandbox used to re-hash every binary up to three times).
+        """
         candidates: dict[str, tuple[bytes, float, set[str]]] = {}
         for entry in self.world.vt.feed_between(start, end):
             candidates[entry.sample.sha256] = (
@@ -172,8 +189,12 @@ class MalNet:
                 )
             else:
                 existing[2].add("malwarebazaar")
-        collected: list[tuple[bytes, float, str]] = []
+        shard_count = self.config.shard_count
+        collected: list[tuple[str, bytes, float, str]] = []
         for sha256, (data, published, sources) in sorted(candidates.items()):
+            if (shard_count > 1
+                    and shard_of(sha256, shard_count) != self.config.shard_index):
+                continue  # another sandbox's sample (parallel-shard model)
             if sha256 in self._seen_hashes:
                 self._m_skipped.labels(reason="duplicate").inc()
                 continue
@@ -182,13 +203,13 @@ class MalNet:
                 continue
             self._seen_hashes.add(sha256)
             source = "both" if len(sources) == 2 else sources.pop()
-            collected.append((data, published, source))
+            collected.append((sha256, data, published, source))
         self._m_collected.inc(len(collected))
         return collected
 
-    def _verify_and_label(self, data: bytes, now: float) -> tuple[bool, str | None, str]:
+    def _verify_and_label(self, sha256: str, now: float) -> tuple[bool, str | None, str]:
         """>=5-engine corroboration plus YARA/AVClass2 family labeling."""
-        entry = self.world.vt.lookup_hash(hashlib.sha256(data).hexdigest())
+        entry = self.world.vt.lookup_hash(sha256)
         if entry is None:
             return False, None, ""
         report = self.world.vt.scan(entry.sample, now)
@@ -201,18 +222,34 @@ class MalNet:
 
     # -- per-binary analysis -------------------------------------------------------------
 
+    def _reseed_for(self, sha256: str) -> None:
+        """Reset the analysis RNG streams to this sample's derived state.
+
+        MalNet ran four sandboxes in parallel (§2.2); in a parallel fleet
+        no binary's randomness can depend on how many binaries another
+        sandbox processed first.  Deriving both streams from
+        ``(world seed, sha256)`` makes per-binary analysis a pure function
+        of the sample, which is what lets the sharded runner's merged
+        output equal the serial run bit for bit.
+        """
+        self._rng.seed(stable_seed("sandbox", self._seed_base, sha256))
+        self.world.internet.rng.seed(
+            stable_seed("internet", self._seed_base, sha256))
+
     def _analyze_binary(
-        self, data: bytes, published: float, day: int, source: str
+        self, sha256: str, data: bytes, published: float, day: int, source: str
     ) -> BinaryNetworkProfile | None:
+        self._reseed_for(sha256)
         now = self.world.internet.clock.now
-        is_malware, family_label, label_source = self._verify_and_label(data, now)
+        is_malware, family_label, label_source = self._verify_and_label(
+            sha256, now)
         if not is_malware:
             self._m_skipped.labels(reason="unverified").inc()
             return None
         self._m_verified.inc()
         try:
             report = self.sandbox.analyze_offline(
-                data, scan_budget=self.world.scale.scan_budget
+                data, scan_budget=self.world.scale.scan_budget, sha256=sha256
             )
         except EmulationError:
             # passed the cheap header filter but is not actually loadable
@@ -220,8 +257,7 @@ class MalNet:
             # sample QEMU cannot boot
             self._m_emulation_errors.inc()
             self.telemetry.events.warning(
-                "pipeline.emulation_error", day=day,
-                sha256=hashlib.sha256(data).hexdigest(),
+                "pipeline.emulation_error", day=day, sha256=sha256,
             )
             return None
         if report.activated:
@@ -285,7 +321,8 @@ class MalNet:
                 "pipeline.new_c2", day=day, endpoint=endpoint,
                 port=report.c2_port, family=profile.family_label,
             )
-        record = self.datasets.c2_record(endpoint, report.c2_port, is_dns)
+        record = self.datasets.c2_record(endpoint, report.c2_port, is_dns,
+                                         origin=(day, profile.sha256))
         record.sample_hashes.add(profile.sha256)
         if profile.family_label:
             record.family_labels.add(profile.family_label)
@@ -298,7 +335,8 @@ class MalNet:
         if report.c2_candidates and report.c2_candidates[0].confidence >= 1.0:
             record.protocol_verified = True
 
-        live = self._check_liveness(data, endpoint, report.c2_port)
+        live = self._check_liveness(data, endpoint, report.c2_port,
+                                    sha256=profile.sha256)
         self._m_liveness.labels(outcome="live" if live else "dead").inc()
         profile.c2_live_on_day0 = live
         if live:
@@ -311,12 +349,14 @@ class MalNet:
             if wants_observation:
                 self._observe_attacks(profile, record, data)
 
-    def _check_liveness(self, data: bytes, endpoint: str, port: int) -> bool:
+    def _check_liveness(self, data: bytes, endpoint: str, port: int,
+                        sha256: str | None = None) -> bool:
         """Weaponized probe of the binary's own C2 (with 4h retries)."""
         for attempt in range(1 + self.config.liveness_retries):
             address = self._resolve_endpoint(endpoint)
             if address is not None:
-                results = self.sandbox.probe_targets(data, [(address, port)])
+                results = self.sandbox.probe_targets(
+                    data, [(address, port)], sha256=sha256)
                 if results and results[0].engaged:
                     return True
             if attempt < self.config.liveness_retries:
@@ -330,9 +370,13 @@ class MalNet:
             data,
             duration=self.world.scale.observe_duration,
             poll_interval=self.world.scale.observe_poll_interval,
+            sha256=profile.sha256,
         )
         if not live_report.connected:
             return
+        # origin sequence: fixes the creation order of this session's new
+        # records inside the global (day, sha256) order for the shard merge
+        seq = 0
         profiled = profile_stream(live_report.server_stream)
         bursts = rate_bursts(
             live_report.contained, SANDBOX_IP,
@@ -348,7 +392,9 @@ class MalNet:
                 record.endpoint, item.family_profile, item.command,
                 when=live_report.capture.packets[-1].timestamp
                 if len(live_report.capture) else 0.0,
+                origin=(profile.day, profile.sha256, seq),
             )
+            seq += 1
             ddos.sample_hashes.add(profile.sha256)
             ddos.verified = ddos.verified or verified
             record.issued_attack = True
@@ -369,8 +415,10 @@ class MalNet:
 
             command = AttackCommand("udp", burst.target, 0, 60)
             ddos = self.datasets.ddos_record(
-                record.endpoint, "heuristic", command, when=burst.start
+                record.endpoint, "heuristic", command, when=burst.start,
+                origin=(profile.day, profile.sha256, seq),
             )
+            seq += 1
             ddos.sample_hashes.add(profile.sha256)
             ddos.via_heuristic = True
             record.issued_attack = True

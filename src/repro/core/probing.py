@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..determinism import stable_seed
 from ..netsim.addresses import Subnet
 from ..netsim.internet import VirtualInternet
 from ..netsim.packet import Protocol
@@ -49,6 +50,15 @@ class ProbingCampaign:
     #: (address, port) pairs confirmed as C2s at least once
     discovered: set[tuple[int, int]] = field(default_factory=set)
     telemetry: Telemetry = NULL_TELEMETRY
+    #: when set, every slot reseeds the internet RNG from this value, so
+    #: the campaign runs identically whether or not the daily pipeline
+    #: (or anything else) consumed the shared stream first
+    world_seed: int | None = None
+    #: inverted listener index: (host, port) pairs worth scanning at all,
+    #: built once — listener bindings and banners are static world state
+    _scan_index: list | None = field(default=None, repr=False, compare=False)
+    #: response_matrix memo, keyed by observation/discovery counts
+    _matrix_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def slots_per_day(self) -> int:
@@ -60,13 +70,20 @@ class ProbingCampaign:
 
     # -- scanning -------------------------------------------------------------
 
-    def _listening_targets(self, now: float) -> list[tuple[int, int]]:
-        """SYN-scan the subnets: hosts listening on a probe port now."""
-        targets: list[tuple[int, int]] = []
+    def _build_scan_index(self) -> list:
+        """Host/port pairs that could ever answer a probe.
+
+        The naive scan is O(subnets x hosts x ports) *per slot* with a
+        dict lookup per (host, port); almost all of it misses — probe
+        /24s are mostly unallocated space.  Listeners, banners, and the
+        banner filter are static, so we invert once: per slot only the
+        surviving pairs' online windows need checking.
+        """
+        index = []
         for subnet in self.subnets:
             for address in subnet.hosts():
                 host = self.internet.host(address)
-                if host is None or not host.is_online(now):
+                if host is None:
                     continue
                 for port in self.ports:
                     listener = host.listener(Protocol.TCP, port)
@@ -75,12 +92,22 @@ class ProbingCampaign:
                     if any(listener.banner.startswith(b)
                            for b in WELL_KNOWN_BANNERS if listener.banner):
                         continue  # filtered: well-known service (section 2.6)
-                    targets.append((address, port))
-        return targets
+                    index.append((address, port, host))
+        return index
+
+    def _listening_targets(self, now: float) -> list[tuple[int, int]]:
+        """SYN-scan the subnets: hosts listening on a probe port now."""
+        if self._scan_index is None:
+            self._scan_index = self._build_scan_index()
+        return [(address, port) for address, port, host in self._scan_index
+                if host.is_online(now)]
 
     def _probe_slot(self, slot: int) -> None:
         with self.telemetry.tracer.span("probing.slot", slot=slot) as span:
             when = self.start + slot * self.interval_hours * 3600.0
+            if self.world_seed is not None:
+                self.internet.rng.seed(
+                    stable_seed("probe-slot", self.world_seed, slot))
             clock = self.internet.clock
             if clock.now <= when:
                 clock.advance_to(when)
@@ -129,7 +156,13 @@ class ProbingCampaign:
 
         Slots before a server's discovery are padded as non-responses so
         every row spans the full campaign.
+
+        The matrix is memoized on the observation/discovery counts (both
+        append-only), since the summary views rebuild it per call.
         """
+        state = (len(self.observations), len(self.discovered))
+        if self._matrix_cache is not None and self._matrix_cache[0] == state:
+            return self._matrix_cache[1]
         matrix: dict[tuple[int, int], list[bool]] = {
             key: [False] * self.total_slots for key in self.discovered
         }
@@ -137,6 +170,7 @@ class ProbingCampaign:
             key = (obs.c2_address, obs.c2_port)
             if key in matrix:
                 matrix[key][obs.slot] = obs.engaged
+        self._matrix_cache = (state, matrix)
         return matrix
 
     def repeat_response_rate(self) -> float:

@@ -1,13 +1,21 @@
-"""One-call study runner: the daily pipeline plus the probing campaign."""
+"""One-call study runner: the daily pipeline plus the probing campaign.
+
+``run_study(world, workers=N)`` shards the pipeline across N worker
+processes (see :mod:`repro.core.parallel`); the default stays serial.
+Both paths produce byte-identical :class:`~repro.core.datasets.Datasets`
+for the same ``(seed, scale)``.
+"""
 
 from __future__ import annotations
 
 import random
 
+from ..determinism import stable_seed
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..sandbox.qemu import MipsEmulator
 from ..world.generator import World
 from .datasets import Datasets
+from .parallel import ShardedStudyRunner, fold_counters
 from .pipeline import MalNet, PipelineConfig
 from .probing import ProbingCampaign
 
@@ -18,7 +26,11 @@ def select_probe_binaries(world: World) -> list[bytes]:
     The study selected two of its collected samples; we pick the first
     activating sample of each family from the same corpus.
     """
-    checker = MipsEmulator(random.Random(0))
+    # derived from the world seed, not a hard-coded Random(0): a study is
+    # a function of its seed, and every RNG it touches must trace back to
+    # it (the activation coin itself is hash-based either way)
+    checker = MipsEmulator(
+        random.Random(stable_seed("probe-binary-check", world.seed)))
     picks: list[bytes] = []
     for family in ("gafgyt", "mirai"):
         for planned in world.truth.all_samples:
@@ -42,23 +54,67 @@ def run_probing(world: World, malnet: MalNet,
         start=world.probe_start,
         days=world.scale.probe_days,
         telemetry=telemetry or malnet.telemetry,
+        world_seed=world.seed,
     )
     campaign.run()
     malnet.datasets.d_pc2.extend(campaign.observations)
     return campaign
 
 
+def _run_parallel(
+    world: World, malnet: MalNet, workers: int, telemetry: Telemetry,
+) -> ProbingCampaign:
+    """Sharded pipeline in a worker pool, probing overlapped in the parent.
+
+    The campaign only reads world state the pipeline never writes (host
+    online windows, listener tables, per-server responsiveness chains are
+    all slot-indexed), and reseeds the internet RNG per slot — so the
+    parent can run it concurrently with the pool and still produce the
+    same observations as the serial ordering.
+    """
+    runner = ShardedStudyRunner(world, workers, config=malnet.config)
+    with telemetry.tracer.span("study.pipeline", workers=workers):
+        runner.start()
+        with telemetry.tracer.span("study.probing"):
+            campaign = run_probing(world, malnet, telemetry)
+        shards = runner.join()
+    merged = Datasets.merge([shard.datasets for shard in shards])
+    merged.d_pc2 = list(malnet.datasets.d_pc2)
+    malnet.datasets = merged
+    # c2/ddos records are deduplicated across shards, so their creation
+    # counters cannot be summed — count the merged records instead, which
+    # is exactly what the serial run would have counted
+    deduplicated = ("c2_records", "ddos_records")
+    for shard in shards:
+        fold_counters(telemetry.metrics, shard.counters,
+                      exclude=deduplicated)
+    metrics = telemetry.metrics
+    metrics.counter("c2_records").inc(len(merged.d_c2s))
+    metrics.counter("ddos_records").inc(len(merged.d_ddos))
+    return campaign
+
+
 def run_study(
     world: World, config: PipelineConfig | None = None,
-    telemetry: Telemetry | None = None,
+    telemetry: Telemetry | None = None, workers: int | None = None,
 ) -> tuple[MalNet, ProbingCampaign, Datasets]:
-    """Execute the complete measurement study on a generated world."""
+    """Execute the complete measurement study on a generated world.
+
+    ``workers=None`` (or 0) runs everything in-process; ``workers=N`` for
+    N >= 1 shards the daily pipeline over N processes and merges, with
+    identical results.
+    """
     telemetry = telemetry or NULL_TELEMETRY
     malnet = MalNet(world, config, telemetry=telemetry)
-    telemetry.events.emit("study.start", scale=world.scale.sample_fraction)
-    with telemetry.tracer.span("study.pipeline"):
-        malnet.run()
-    with telemetry.tracer.span("study.probing"):
-        campaign = run_probing(world, malnet, telemetry)
-    telemetry.events.emit("study.complete", sizes=dict(malnet.datasets.summary()))
+    telemetry.events.emit("study.start", scale=world.scale.sample_fraction,
+                          workers=workers or 0)
+    if workers:
+        campaign = _run_parallel(world, malnet, workers, telemetry)
+    else:
+        with telemetry.tracer.span("study.pipeline"):
+            malnet.run()
+        with telemetry.tracer.span("study.probing"):
+            campaign = run_probing(world, malnet, telemetry)
+    telemetry.events.emit("study.complete",
+                          sizes=dict(malnet.datasets.summary()))
     return malnet, campaign, malnet.datasets

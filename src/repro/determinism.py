@@ -1,0 +1,48 @@
+"""Stable seed derivation for order-independent randomness.
+
+The sharded study runner requires every per-sample random draw to be a
+pure function of ``(world seed, sample identity)`` — never of how many
+samples some other sandbox analyzed first.  Python's builtin ``hash`` is
+salted per process and ``random.Random`` streams encode consumption
+order, so both are unusable as cross-process determinism primitives.
+Everything here goes through SHA-256, which is stable across processes,
+platforms, and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["stable_seed", "stable_unit", "shard_of"]
+
+
+def _digest(parts: tuple) -> bytes:
+    return hashlib.sha256("|".join(str(p) for p in parts).encode()).digest()
+
+
+def stable_seed(*parts) -> int:
+    """A 64-bit RNG seed derived only from ``parts``.
+
+    ``random.Random(stable_seed("sandbox", world_seed, sha256))`` yields
+    the same stream in every process that derives it, regardless of what
+    ran before — the property the serial-vs-sharded equivalence rests on.
+    """
+    return int.from_bytes(_digest(parts)[:8], "big")
+
+
+def stable_unit(*parts) -> float:
+    """A uniform [0, 1) draw derived only from ``parts``."""
+    return int.from_bytes(_digest(parts)[:8], "big") / 2**64
+
+
+def shard_of(sha256: str, shard_count: int) -> int:
+    """The shard owning a sample hash.
+
+    Partitioning by sha256 makes cross-shard dedup structural: every
+    occurrence of a binary, on any study day, lands in the same shard,
+    so each worker's ``seen_hashes`` set is a complete dedup record for
+    the hashes it can ever see.
+    """
+    if shard_count <= 1:
+        return 0
+    return int(sha256[:16], 16) % shard_count

@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..determinism import stable_seed
 from ..netsim.addresses import ephemeral_port
 from ..netsim.capture import Capture
 from ..netsim.packet import Packet, TcpFlags, tcp_packet
@@ -107,7 +108,10 @@ class Handshaker:
 
     def dns_lookup(self, name: str, trace: Capture | None = None) -> int | None:
         # exploit extraction runs offline; names resolve into fake space
-        return 0xC6120001 + (hash(name) & 0xFF)
+        # (stable digest, not builtin hash: that one is salted per process,
+        # which would make shard workers resolve differently than the
+        # serial run)
+        return 0xC6120001 + (stable_seed("handshaker-dns", name) & 0xFF)
 
     # -- internals -----------------------------------------------------------------
 

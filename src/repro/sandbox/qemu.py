@@ -64,9 +64,15 @@ class MipsEmulator:
         self._activation_rate = activation_rate
         self.machines = machines if machines is not None else frozenset({EM_MIPS})
 
-    def load(self, data: bytes) -> tuple[str, BotConfig]:
-        """Parse and unpack a binary; returns (sha256, recovered config)."""
-        sha256 = hashlib.sha256(data).hexdigest()
+    def load(self, data: bytes,
+             sha256: str | None = None) -> tuple[str, BotConfig]:
+        """Parse and unpack a binary; returns (sha256, recovered config).
+
+        ``sha256`` lets callers that already digested the bytes (the
+        collection pull indexes feeds by hash) skip re-hashing here.
+        """
+        if sha256 is None:
+            sha256 = hashlib.sha256(data).hexdigest()
         try:
             image = ElfImage.parse(data)
         except ElfError as exc:
@@ -91,9 +97,10 @@ class MipsEmulator:
         digest = hashlib.sha256(f"activation|{sha256}".encode()).digest()
         return int.from_bytes(digest[:8], "big") / 2**64 < self._activation_rate
 
-    def run(self, data: bytes, bot_ip: int) -> EmulatedProcess:
+    def run(self, data: bytes, bot_ip: int,
+            sha256: str | None = None) -> EmulatedProcess:
         """Load and activate; raises :class:`ActivationError` on evasion."""
-        sha256, config = self.load(data)
+        sha256, config = self.load(data, sha256=sha256)
         if not self.activates(sha256):
             raise ActivationError(f"sample {sha256[:12]} did not activate")
         bot_rng = random.Random(int(sha256[:16], 16))

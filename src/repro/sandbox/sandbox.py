@@ -136,19 +136,20 @@ class CncHunterSandbox:
 
     # -- mode 1: offline analysis ------------------------------------------------
 
-    def analyze_offline(self, data: bytes, scan_budget: int = 120) -> OfflineReport:
+    def analyze_offline(self, data: bytes, scan_budget: int = 120,
+                        sha256: str | None = None) -> OfflineReport:
         """Closed-world activation, C2 detection and exploit extraction."""
         with self.telemetry.tracer.span("sandbox.analyze") as span:
             try:
-                process = self.emulator.run(data, self.bot_ip)
+                process = self.emulator.run(data, self.bot_ip, sha256=sha256)
             except EmulationError:
                 self._m_activations.labels(outcome="unloadable").inc()
                 raise
             except ActivationError:
                 self._m_activations.labels(outcome="evaded").inc()
                 return OfflineReport(
-                    sha256=hashlib.sha256(data).hexdigest(), activated=False,
-                    yara_input=data,
+                    sha256=sha256 or hashlib.sha256(data).hexdigest(),
+                    activated=False, yara_input=data,
                 )
             self._m_activations.labels(outcome="activated").inc()
             span.set_attribute("sha256", process.sha256)
@@ -192,7 +193,7 @@ class CncHunterSandbox:
 
     def probe_targets(
         self, data: bytes, targets: list[tuple[int, int]],
-        trace: Capture | None = None,
+        trace: Capture | None = None, sha256: str | None = None,
     ) -> list[ProbeResult]:
         """Weaponize the binary to probe ip:port targets for live C2s."""
         if self.internet is None:
@@ -200,7 +201,7 @@ class CncHunterSandbox:
         for _ip, port in targets:
             self._m_probe_attempts.labels(port=port).inc()
         try:
-            process = self.emulator.run(data, self.bot_ip)
+            process = self.emulator.run(data, self.bot_ip, sha256=sha256)
         except ActivationError:
             return [ProbeResult(ip, port, False) for ip, port in targets]
         adapter = LiveInternetAdapter(self.internet, self.bot_ip)
@@ -229,11 +230,13 @@ class CncHunterSandbox:
         duration: float = 2 * 3600.0,
         poll_interval: float = 60.0,
         max_attack_packets: int = 400,
+        sha256: str | None = None,
     ) -> LiveReport:
         """Run the malware against its real C2 with C2-only egress."""
         if self.internet is None:
             raise RuntimeError("live observation requires a live internet")
-        sha256 = hashlib.sha256(data).hexdigest()
+        if sha256 is None:
+            sha256 = hashlib.sha256(data).hexdigest()
         with self.telemetry.tracer.span("sandbox.observe_live", sha256=sha256):
             return self._observe_live(data, sha256, duration, poll_interval,
                                       max_attack_packets)
@@ -243,7 +246,7 @@ class CncHunterSandbox:
         poll_interval: float, max_attack_packets: int,
     ) -> LiveReport:
         try:
-            process = self.emulator.run(data, self.bot_ip)
+            process = self.emulator.run(data, self.bot_ip, sha256=sha256)
         except ActivationError:
             return LiveReport(sha256=sha256, connected=False)
         report = LiveReport(sha256=process.sha256, connected=False)

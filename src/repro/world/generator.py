@@ -60,6 +60,9 @@ class World:
     truth: GroundTruth
     scale: cal.StudyScale
     probe_start: float = 0.0
+    #: the generator seed, kept so the sharded runner can regenerate this
+    #: exact world in worker processes (None for hand-assembled worlds)
+    seed: int | None = None
 
     @property
     def epoch(self) -> float:
@@ -106,7 +109,7 @@ class WorldGenerator:
         world = World(
             rng=self.rng, internet=self.internet, asdb=self.asdb,
             vt=self.vt, bazaar=self.bazaar, truth=self.truth,
-            scale=self.scale,
+            scale=self.scale, seed=self.seed,
         )
         self._plan_probing_world(world)
         return world

@@ -1,0 +1,219 @@
+"""The sharded runner's hard invariant: parallel output == serial output.
+
+Covers the three layers separately so a regression points at its cause:
+the sha256 partition itself, :meth:`Datasets.merge` semantics on
+synthetic conflicting records, in-process shard+merge against the serial
+pipeline, and the full multiprocessing path through ``run_study``.
+"""
+
+import pytest
+
+from repro.botnet.protocols.base import AttackCommand
+from repro.core.datasets import Datasets
+from repro.core.parallel import ShardedStudyRunner, fold_counters
+from repro.core.pipeline import MalNet, PipelineConfig
+from repro.core.study import run_study
+from repro.determinism import shard_of
+from repro.obs import MetricsRegistry
+from repro.world import StudyScale, generate_world
+
+SCALE = StudyScale(sample_fraction=0.05, probe_days=4,
+                   observe_duration=1800.0, observe_poll_interval=300.0,
+                   scan_budget=120)
+SEED = 1337
+
+
+@pytest.fixture(scope="module")
+def serial():
+    world = generate_world(seed=SEED, scale=SCALE)
+    _malnet, _campaign, datasets = run_study(world)
+    return datasets
+
+
+# -- the equivalence property -------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_study_equals_serial(workers, serial):
+    world = generate_world(seed=SEED, scale=SCALE)
+    _malnet, _campaign, datasets = run_study(world, workers=workers)
+    assert datasets == serial
+    # dataclass equality compares dicts order-insensitively; the invariant
+    # includes serial insertion order, so check it explicitly
+    assert list(datasets.d_c2s) == list(serial.d_c2s)
+    assert [p.sha256 for p in datasets.profiles] == \
+        [p.sha256 for p in serial.profiles]
+
+
+def test_inprocess_shards_merge_to_serial(serial):
+    """Shard + merge equivalence without multiprocessing in the loop."""
+    shards = []
+    for index in range(3):
+        world = generate_world(seed=SEED, scale=SCALE)
+        malnet = MalNet(world, PipelineConfig(shard_index=index,
+                                              shard_count=3))
+        malnet.run()
+        shards.append(malnet.datasets)
+    merged = Datasets.merge(shards)
+    assert merged.profiles == serial.profiles
+    assert merged.d_c2s == serial.d_c2s
+    assert list(merged.d_c2s) == list(serial.d_c2s)
+    assert merged.d_exploits == serial.d_exploits
+    assert merged.d_ddos == serial.d_ddos
+
+
+def test_shards_partition_the_corpus(serial):
+    """Every profiled sample lands in exactly one shard, none are lost."""
+    hashes = [p.sha256 for p in serial.profiles]
+    for count in (2, 4, 7):
+        assigned = {}
+        for sha256 in hashes:
+            shard = shard_of(sha256, count)
+            assert 0 <= shard < count
+            assigned.setdefault(shard, []).append(sha256)
+        assert sorted(h for block in assigned.values() for h in block) == \
+            sorted(hashes)
+    assert all(shard_of(sha256, 1) == 0 for sha256 in hashes)
+
+
+# -- merge semantics on conflicting records -----------------------------------
+
+
+def test_merge_c2_record_conflicts():
+    """Two shards referring to one endpoint fold into serial semantics."""
+    late, early = Datasets(), Datasets()
+    a = late.c2_record("198.51.100.9", 23, False, origin=(5, "ffff"))
+    a.sample_hashes.add("ffff")
+    a.family_labels.add("mirai")
+    a.first_day, a.last_day = 5, 9
+    a.first_seen, a.last_seen = 500.0, 900.0
+    a.live_observations = 2
+    a.vt_malicious_day0 = True
+    b = early.c2_record("198.51.100.9", 2323, False, origin=(2, "aaaa"))
+    b.sample_hashes.add("aaaa")
+    b.family_labels.add("gafgyt")
+    b.first_day, b.last_day = 2, 2
+    b.first_seen, b.last_seen = 200.0, 200.0
+    b.live_observations = 1
+    b.vt_malicious_recheck = True
+    b.protocol_verified = True
+
+    record = Datasets.merge([late, early]).d_c2s["198.51.100.9"]
+    # the globally-earliest creator supplies the creation-time fields
+    assert record.port == 2323
+    assert record.origin == (2, "aaaa")
+    # cumulative fields fold min/max/union/or/sum
+    assert record.first_day == 2 and record.last_day == 9
+    assert record.first_seen == 200.0 and record.last_seen == 900.0
+    assert record.sample_hashes == {"aaaa", "ffff"}
+    assert record.family_labels == {"gafgyt", "mirai"}
+    assert record.live_observations == 3
+    assert record.vt_malicious_day0 and record.vt_malicious_recheck
+    assert record.protocol_verified and not record.issued_attack
+
+
+def test_merge_c2_insertion_order_is_creation_order():
+    shard_a, shard_b = Datasets(), Datasets()
+    shard_a.c2_record("10.0.0.2", 23, False, origin=(3, "cc"))
+    shard_a.c2_record("10.0.0.3", 23, False, origin=(1, "aa"))
+    shard_b.c2_record("10.0.0.1", 23, False, origin=(2, "bb"))
+    merged = Datasets.merge([shard_a, shard_b])
+    assert list(merged.d_c2s) == ["10.0.0.3", "10.0.0.1", "10.0.0.2"]
+
+
+def test_merge_ddos_record_conflicts():
+    """Same (C2, command) in two shards dedups like serial ddos_record."""
+    command = AttackCommand("udp", 0x01020304, 80, 60)
+    other = AttackCommand("syn", 0x01020304, 80, 60)
+    one, two = Datasets(), Datasets()
+    a = one.ddos_record("c2.example", "mirai", command, when=900.0,
+                        origin=(4, "dddd", 0))
+    a.sample_hashes.add("dddd")
+    a.via_heuristic = True
+    b = two.ddos_record("c2.example", "gafgyt", command, when=100.0,
+                        origin=(1, "bbbb", 1))
+    b.sample_hashes.add("bbbb")
+    b.verified = True
+    two.ddos_record("c2.example", "gafgyt", other, when=150.0,
+                    origin=(2, "cccc", 0))
+
+    merged = Datasets.merge([one, two])
+    assert len(merged.d_ddos) == 2
+    first, second = merged.d_ddos
+    # ordered by global creation order, earliest creator wins when/family
+    assert first.command == command and first.origin == (1, "bbbb", 1)
+    assert first.family == "gafgyt" and first.when == 100.0
+    assert first.sample_hashes == {"bbbb", "dddd"}
+    assert first.verified and first.via_heuristic
+    assert second.command == other and second.origin == (2, "cccc", 0)
+
+
+def test_merge_orders_profiles_and_exploits(serial):
+    """Reversed shard inputs still come out in (day, sha256) order."""
+    merged = Datasets.merge([serial, Datasets()])
+    # a sample's exploit rows keep their capture order, which only holds
+    # when each sample's records live in one shard — split like shard_of
+    front, back = Datasets(), Datasets()
+    front.profiles = [p for p in serial.profiles
+                      if shard_of(p.sha256, 2) == 0]
+    back.profiles = [p for p in serial.profiles
+                     if shard_of(p.sha256, 2) == 1]
+    front.d_exploits = [r for r in serial.d_exploits
+                        if shard_of(r.sha256, 2) == 0]
+    back.d_exploits = [r for r in serial.d_exploits
+                       if shard_of(r.sha256, 2) == 1]
+    remerged = Datasets.merge([back, front])
+    assert merged.profiles == serial.profiles
+    assert remerged.profiles == serial.profiles
+    assert remerged.d_exploits == serial.d_exploits
+
+
+# -- runner machinery ---------------------------------------------------------
+
+
+def test_runner_rejects_bad_arguments():
+    world = generate_world(seed=SEED, scale=SCALE)
+    with pytest.raises(ValueError, match="workers"):
+        ShardedStudyRunner(world, workers=0)
+    world.seed = None
+    with pytest.raises(ValueError, match="seeded world"):
+        ShardedStudyRunner(world, workers=2)
+
+
+def test_fold_counters_sums_worker_snapshots():
+    worker = MetricsRegistry()
+    worker.counter("samples_collected", "help").inc(7)
+    worker.counter("samples_skipped", "help", labelnames=("reason",)) \
+        .labels(reason="duplicate").inc(3)
+    worker.gauge("some_gauge", "ignored").set(5)
+    snapshot = worker.snapshot()
+
+    parent = MetricsRegistry()
+    parent.counter("samples_collected", "help").inc(1)
+    fold_counters(parent, snapshot)
+    fold_counters(parent, snapshot)
+    assert parent.value("samples_collected") == 15
+    assert parent.value("samples_skipped", reason="duplicate") == 6
+    assert parent.get("some_gauge") is None
+    # excluded counters (cross-shard deduplicated records) are not summed
+    fold_counters(parent, snapshot, exclude=("samples_collected",))
+    assert parent.value("samples_collected") == 15
+    assert parent.value("samples_skipped", reason="duplicate") == 9
+
+
+def test_parallel_counter_totals_match_serial():
+    """Summed worker counters equal the serial run's, dedup included."""
+    from repro.obs import create_telemetry
+
+    def totals(workers):
+        telemetry = create_telemetry()
+        world = generate_world(seed=SEED, scale=SCALE)
+        run_study(world, telemetry=telemetry, workers=workers)
+        return {
+            (family.name, tuple(sorted(labels.items()))): child.value
+            for family in telemetry.metrics.families()
+            if family.kind == "counter"
+            for labels, child in family.series()
+        }
+
+    assert totals(None) == totals(2)
