@@ -17,6 +17,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 
+from ..netsim.addresses import is_ip_literal
+
 MAGIC = b"BCFG"
 
 #: Mirai's leaked source uses table_key = 0xdeadbeef (applied byte-wise).
@@ -57,7 +59,7 @@ class BotConfig:
     @property
     def uses_dns(self) -> bool:
         """True when the C2 endpoint is a domain name rather than an IP."""
-        return bool(self.c2_host) and not self.c2_host.replace(".", "").isdigit()
+        return bool(self.c2_host) and not is_ip_literal(self.c2_host)
 
     @property
     def is_p2p(self) -> bool:

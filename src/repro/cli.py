@@ -28,7 +28,9 @@ from .core.report import (
     render_probe_matrix,
     render_table,
 )
+from .core.pipeline import PipelineConfig
 from .core.study import run_study
+from .netsim.faults import FAULT_PLANS
 from .obs import NULL_TELEMETRY, Telemetry, create_telemetry
 from .world import FULL_SCALE, SMOKE_SCALE, StudyScale, generate_world
 from .world.calibration import ACTIVE_WEEKS
@@ -69,15 +71,23 @@ def _build_parser() -> argparse.ArgumentParser:
             help="shard the daily pipeline over N worker processes "
                  "(default: in-process serial; results are identical)")
 
+    def faults_flag(subparser):
+        subparser.add_argument(
+            "--faults", choices=sorted(FAULT_PLANS), default=None,
+            help="inject deterministic faults (packet loss, feed outages, "
+                 "sandbox crashes); results stay reproducible per seed")
+
     study = sub.add_parser("study", help="run the study and print Table 1 + stats")
     telemetry_flag(study)
     workers_flag(study)
+    faults_flag(study)
 
     report = sub.add_parser("report", help="render selected tables/figures")
     report.add_argument("--what", nargs="+", choices=REPORT_CHOICES,
                         default=["table1"], help="items to render")
     telemetry_flag(report)
     workers_flag(report)
+    faults_flag(report)
 
     stats = sub.add_parser(
         "stats", help="run the study with telemetry on and print the "
@@ -134,8 +144,16 @@ def _run(args, telemetry: Telemetry = NULL_TELEMETRY) -> tuple:
     workers = getattr(args, "workers", None)
     if workers is not None and workers < 0:
         raise SystemExit(f"repro: --workers must be >= 0, got {workers}")
-    malnet, campaign, datasets = run_study(world, telemetry=telemetry,
+    config = None
+    faults = getattr(args, "faults", None)
+    if faults is not None:
+        config = PipelineConfig(faults=FAULT_PLANS[faults])
+    malnet, campaign, datasets = run_study(world, config=config,
+                                           telemetry=telemetry,
                                            workers=workers)
+    if datasets.failed_shards:
+        print(f"# WARNING: partial results - shards {datasets.failed_shards} "
+              "failed and were excluded from the merge", file=sys.stderr)
     return world, malnet, campaign, datasets
 
 

@@ -132,6 +132,10 @@ class Datasets:
     d_ddos: list[DdosRecord] = field(default_factory=list)
     #: (endpoint, command) -> record, so ddos_record dedup is O(1)
     _ddos_index: dict = field(default_factory=dict, compare=False, repr=False)
+    #: shard indexes missing from a parallel merge (see ShardedStudyRunner);
+    #: non-empty means *partial* data — excluded from equality on purpose,
+    #: it describes how the value was produced, not the value itself
+    failed_shards: list = field(default_factory=list, compare=False)
 
     # -- D-Samples ---------------------------------------------------------
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from ..analysis.stats import share_by
 from ..intel.asdb import AsDatabase
-from ..netsim.addresses import ip_to_int
+from ..netsim.addresses import ip_to_int, is_ip_literal
 from .datasets import Datasets, DdosRecord
 
 
@@ -127,7 +127,7 @@ def issuing_c2_countries(datasets: Datasets, asdb: AsDatabase) -> dict[str, int]
     counts: dict[str, int] = {}
     for record in attacks(datasets):
         endpoint = record.c2_endpoint
-        if endpoint.replace(".", "").isdigit():
+        if is_ip_literal(endpoint):
             owner = asdb.lookup(ip_to_int(endpoint))
             country = owner.country if owner else "??"
         else:
@@ -146,7 +146,7 @@ def attack_country_concentration(
     count = 0
     for record in records:
         endpoint = record.c2_endpoint
-        if not endpoint.replace(".", "").isdigit():
+        if not is_ip_literal(endpoint):
             continue
         owner = asdb.lookup(ip_to_int(endpoint))
         if owner is not None and owner.country in countries:

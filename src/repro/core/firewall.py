@@ -35,6 +35,11 @@ class FirewallRule:
     technology: str   # "iptables" | "dnsmasq" | "snort"
     text: str
     reason: str
+    #: the blocked host/domain this rule targets, "" for payload
+    #: signatures.  Metadata, not rendered: matching on it instead of
+    #: substring-searching ``text`` keeps "1.2.3.4" from matching a rule
+    #: for "11.2.3.45".
+    endpoint: str = ""
 
     def render(self) -> str:
         return f"{self.text}  # {self.reason}"
@@ -72,14 +77,17 @@ def _c2_rules(datasets: Datasets, bundle: RuleBundle,
                   f"({families}); first seen day {record.first_day}")
         if record.is_dns:
             bundle.add(FirewallRule(
-                "dnsmasq", f"address=/{record.endpoint}/0.0.0.0", reason))
+                "dnsmasq", f"address=/{record.endpoint}/0.0.0.0", reason,
+                endpoint=record.endpoint))
         else:
             bundle.add(FirewallRule(
                 "iptables",
-                f"-A OUTPUT -d {record.endpoint} -j DROP", reason))
+                f"-A OUTPUT -d {record.endpoint} -j DROP", reason,
+                endpoint=record.endpoint))
             bundle.add(FirewallRule(
                 "iptables",
-                f"-A INPUT -s {record.endpoint} -j DROP", reason))
+                f"-A INPUT -s {record.endpoint} -j DROP", reason,
+                endpoint=record.endpoint))
 
 
 def _downloader_rules(datasets: Datasets, bundle: RuleBundle) -> None:
@@ -95,6 +103,7 @@ def _downloader_rules(datasets: Datasets, bundle: RuleBundle) -> None:
             "iptables", f"-A OUTPUT -d {host} -j DROP",
             f"malware downloader referenced by exploit "
             f"({record.vuln_key}, loader {record.loader})",
+            endpoint=host,
         ))
 
 
@@ -168,12 +177,7 @@ def coverage_report(datasets: Datasets, bundle: RuleBundle) -> dict[str, float]:
       blocked (the §3.3 argument: one binary's C2 protects against all
       binaries sharing it).
     """
-    blocked_hosts = set()
-    for rule in bundle.rules:
-        if rule.technology == "iptables" and "-d " in rule.text:
-            blocked_hosts.add(rule.text.split("-d ")[1].split()[0])
-        elif rule.technology == "dnsmasq":
-            blocked_hosts.add(rule.text.split("/")[1])
+    blocked_hosts = {rule.endpoint for rule in bundle.rules if rule.endpoint}
     verified = [r for r in datasets.d_c2s.values() if r.verified]
     c2_cov = (sum(1 for r in verified if r.endpoint in blocked_hosts)
               / len(verified)) if verified else 0.0

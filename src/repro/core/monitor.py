@@ -168,9 +168,14 @@ class ContinuousMonitor:
         return counts
 
     def time_to_first_rule(self, endpoint: str) -> int | None:
-        """Study day on which a block rule for ``endpoint`` first shipped."""
+        """Study day on which a block rule for ``endpoint`` first shipped.
+
+        Matches the rule's ``endpoint`` metadata, not a substring of its
+        rendered text — ``"1.2.3.4"`` must not claim credit for a rule
+        that blocks ``"11.2.3.45"``.
+        """
         for digest in self.digests:
             for rule in digest.new_rules:
-                if endpoint in rule.text:
+                if rule.endpoint == endpoint:
                     return digest.day
         return None

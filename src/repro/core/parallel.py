@@ -27,12 +27,28 @@ rebuilt; each worker process runs exactly one shard task
 one.  Without ``fork`` the worker regenerates the world from
 ``(seed, scale)`` — same bytes either way, world generation is
 deterministic.
+
+**Failure handling**: a real fleet loses sandboxes.  :meth:`join` waits
+per shard with a bounded timeout, treats a missing result (worker died —
+``multiprocessing.Pool`` silently loses the in-flight task of a killed
+worker) or a raised one as a shard failure, terminates the wave's pool,
+and re-dispatches only the failed shards in a fresh pool, up to
+``max_redispatch`` extra waves.  Re-dispatched workers regenerate the
+world from ``(seed, scale)`` instead of trusting the fork snapshot: by
+join time the parent's probing campaign has mutated the parent world, so
+the snapshot is only valid for the first wave.  Because each shard's
+output is a pure function of ``(seed, scale, config)``, a retried shard
+produces the same bytes it would have produced on the first try.  Shards
+that keep failing land in :attr:`ShardedStudyRunner.failed_shards` so a
+partial merge is reported, never silent.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
+import time
 
 from ..obs import MetricsRegistry, NullEventLog, NullTracer, Telemetry
 from ..world.generator import World
@@ -41,8 +57,13 @@ from .pipeline import MalNet, PipelineConfig
 
 __all__ = ["ShardedStudyRunner", "ShardResult", "fold_counters"]
 
-#: world snapshot inherited by fork()ed workers; ``None`` under spawn
+#: world snapshot inherited by fork()ed workers; ``None`` under spawn and
+#: for re-dispatch waves (the parent world has been mutated by then)
 _FORK_WORLD: World | None = None
+
+#: exit code of a chaos-crashed worker (os._exit, so the parent pool sees
+#: a dead process, not an exception — the lost-task failure mode)
+_CRASH_EXIT_CODE = 170
 
 
 @dataclasses.dataclass
@@ -58,13 +79,25 @@ def _run_shard(task) -> ShardResult:
     """Worker entry point: run the pipeline over one shard.
 
     Runs in a child process.  Uses the fork-inherited world snapshot when
-    there is one, otherwise regenerates it from ``(seed, scale)``.  The
-    worker keeps metrics (counter totals survive the merge) but drops
-    tracing and events — those stay per-process.
+    there is one and this is the first attempt, otherwise regenerates the
+    world from ``(seed, scale)``.  The worker keeps metrics (counter
+    totals survive the merge) but drops tracing and events — those stay
+    per-process.
     """
-    seed, scale, config = task
+    seed, scale, config, attempt = task
+    plan = config.faults
+    if plan is not None and plan.enabled:
+        from ..netsim.faults import FaultInjector
+
+        injector = FaultInjector(plan, seed)
+        if injector.worker_crashes(config.shard_index, attempt):
+            # die like a sandbox host dies: no exception, no result —
+            # the parent only notices the shard never reports back
+            os._exit(_CRASH_EXIT_CODE)
+        if injector.worker_hangs(config.shard_index, attempt):
+            time.sleep(plan.hang_seconds)
     world = _FORK_WORLD
-    if world is None:
+    if world is None or attempt > 0:
         from ..world import generate_world
 
         world = generate_world(seed=seed, scale=scale)
@@ -107,10 +140,18 @@ class ShardedStudyRunner:
         runner = ShardedStudyRunner(world, workers=4).start()
         ...                       # parent-side work overlaps the pool
         shards = runner.join()    # [ShardResult, ...] in shard order
+
+    After :meth:`join`, :attr:`failed_shards` lists the shard indexes
+    that never produced a result (crashed/hung/raised through every
+    re-dispatch wave) and :attr:`failures` keeps the last error text per
+    failed shard.  Callers must treat a non-empty :attr:`failed_shards`
+    as a partial merge.
     """
 
     def __init__(self, world: World, workers: int,
-                 config: PipelineConfig | None = None):
+                 config: PipelineConfig | None = None,
+                 shard_timeout: float | None = 600.0,
+                 max_redispatch: int = 2):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if world.seed is None:
@@ -120,15 +161,34 @@ class ShardedStudyRunner:
         self.world = world
         self.workers = workers
         self.config = config or PipelineConfig()
+        #: wall-clock seconds to wait for each shard in :meth:`join`
+        #: before declaring its worker lost (``None``: wait forever)
+        self.shard_timeout = shard_timeout
+        #: extra dispatch waves granted to failed shards
+        self.max_redispatch = max_redispatch
+        #: shard indexes with no result after all waves (set by ``join``)
+        self.failed_shards: list[int] = []
+        #: last error text per failed shard index
+        self.failures: dict[int, str] = {}
+        #: total shard re-dispatches performed (set by ``join``)
+        self.redispatches = 0
+        self._context = None
         self._pool = None
-        self._result = None
+        self._pending = None
 
-    def _shard_configs(self) -> list[PipelineConfig]:
-        return [
-            dataclasses.replace(self.config, shard_index=index,
-                                shard_count=self.workers)
-            for index in range(self.workers)
-        ]
+    def _shard_config(self, index: int) -> PipelineConfig:
+        return dataclasses.replace(self.config, shard_index=index,
+                                   shard_count=self.workers)
+
+    def _dispatch(self, pool, indexes, attempt: int) -> dict:
+        """apply_async one task per shard; returns index -> AsyncResult."""
+        return {
+            index: pool.apply_async(
+                _run_shard,
+                ((self.world.seed, self.world.scale,
+                  self._shard_config(index), attempt),))
+            for index in indexes
+        }
 
     def start(self) -> "ShardedStudyRunner":
         """Fork the pool and dispatch one task per shard (non-blocking)."""
@@ -136,31 +196,85 @@ class ShardedStudyRunner:
         if self._pool is not None:
             raise RuntimeError("runner already started")
         try:
-            context = multiprocessing.get_context("fork")
+            self._context = multiprocessing.get_context("fork")
             _FORK_WORLD = self.world
         except ValueError:  # pragma: no cover - non-fork platforms
-            context = multiprocessing.get_context()
-        tasks = [(self.world.seed, self.world.scale, config)
-                 for config in self._shard_configs()]
-        self._pool = context.Pool(processes=self.workers,
-                                  maxtasksperchild=1)
-        self._result = self._pool.map_async(_run_shard, tasks, chunksize=1)
+            self._context = multiprocessing.get_context()
+        self._pool = self._context.Pool(processes=self.workers,
+                                        maxtasksperchild=1)
+        self._pending = self._dispatch(self._pool, range(self.workers),
+                                       attempt=0)
         self._pool.close()
         return self
 
+    def _collect(self, pending: dict, results: dict) -> dict[int, str]:
+        """Harvest one wave; returns failures as index -> error text.
+
+        The timeout budget is shared by the wave: shards run
+        concurrently, so a healthy wave drains in one shard's runtime,
+        and a crashed worker (whose task ``Pool`` silently loses — no
+        exception ever surfaces) costs one ``shard_timeout``, not one
+        per remaining shard.
+        """
+        deadline = (None if self.shard_timeout is None
+                    else time.monotonic() + self.shard_timeout)
+        failures: dict[int, str] = {}
+        for index in sorted(pending):
+            try:
+                if deadline is None:
+                    results[index] = pending[index].get()
+                else:
+                    results[index] = pending[index].get(
+                        max(0.0, deadline - time.monotonic()))
+            except multiprocessing.TimeoutError:
+                failures[index] = (
+                    f"no result within {self.shard_timeout}s "
+                    "(worker crashed or hung)")
+            except Exception as exc:  # worker raised; propagated by get()
+                failures[index] = f"{type(exc).__name__}: {exc}"
+        return failures
+
     def join(self) -> list[ShardResult]:
-        """Wait for every shard; returns results ordered by shard index."""
+        """Wait for every shard; returns results ordered by shard index.
+
+        Failed shards are re-dispatched (fresh pool, regenerated world)
+        up to ``max_redispatch`` times; whatever still fails is recorded
+        in :attr:`failed_shards` / :attr:`failures` and simply absent
+        from the returned list.
+        """
         global _FORK_WORLD
-        if self._result is None:
+        if self._pending is None:
             raise RuntimeError("runner not started")
+        pool, pending = self._pool, self._pending
+        self._pool = self._pending = None
+        results: dict[int, ShardResult] = {}
+        attempt = 0
         try:
-            shards = self._result.get()
+            while True:
+                failures = self._collect(pending, results)
+                if not failures:
+                    pool.join()
+                    break
+                # a hung or half-dead wave cannot be drained politely
+                pool.terminate()
+                pool.join()
+                self.failures.update(failures)
+                attempt += 1
+                if attempt > self.max_redispatch:
+                    self.failed_shards = sorted(failures)
+                    break
+                # the parent world has been mutated since start() (the
+                # probing campaign runs between start and join), so the
+                # fork snapshot is stale — retry workers regenerate
+                _FORK_WORLD = None
+                self.redispatches += len(failures)
+                pool = self._context.Pool(processes=len(failures),
+                                          maxtasksperchild=1)
+                pending = self._dispatch(pool, sorted(failures), attempt)
+                pool.close()
         finally:
-            self._pool.join()
-            self._pool = None
-            self._result = None
             _FORK_WORLD = None
-        return sorted(shards, key=lambda shard: shard.shard_index)
+        return [results[index] for index in sorted(results)]
 
     def run(self) -> list[ShardResult]:
         """Blocking convenience: :meth:`start` then :meth:`join`."""

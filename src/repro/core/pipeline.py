@@ -33,7 +33,9 @@ from ..botnet.families import ATTACK_FAMILIES
 from ..determinism import shard_of, stable_seed
 from ..feeds.avclass import label_sample
 from ..feeds.virustotal import DETECTION_THRESHOLD
-from ..netsim.addresses import ip_to_int
+from ..netsim.addresses import ip_to_int, is_ip_literal
+from ..netsim.faults import FaultInjector, FaultPlan, FeedUnavailable, \
+    SandboxCrash
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..netsim.internet import SECONDS_PER_DAY
 from ..sandbox.qemu import EmulationError, MipsEmulator
@@ -42,6 +44,7 @@ from ..world.calibration import ACTIVE_WEEKS, MAY_7_2022
 from ..world.generator import ANALYSIS_HOUR_OFFSET, World
 from .datasets import Datasets, ExploitRecord
 from .profiles import AttackObservation, BinaryNetworkProfile, ExploitObservation
+from .retry import FEED_RETRY, SANDBOX_RETRY, RetryPolicy
 
 
 @dataclass
@@ -61,6 +64,12 @@ class PipelineConfig:
     #: samples whose sha256 maps to ``shard_index`` of ``shard_count``
     shard_index: int = 0
     shard_count: int = 1
+    #: deterministic fault plan (repro.netsim.faults); None = reliable world
+    faults: FaultPlan | None = None
+    #: control-plane retries for a feed pull that hits an outage window
+    feed_retry: RetryPolicy = FEED_RETRY
+    #: retries for transient sandbox activation crashes before quarantine
+    sandbox_retry: RetryPolicy = SANDBOX_RETRY
 
 
 class MalNet:
@@ -96,7 +105,28 @@ class MalNet:
             telemetry=self.telemetry,
         )
         self._seen_hashes: set[str] = set()
+        #: per-feed backfill cursor: start of the earliest window whose
+        #: pull has not succeeded yet (outage days are re-covered by the
+        #: next successful pull instead of being silently lost)
+        self._feed_cursor: dict[str, float] = {}
         metrics = self.telemetry.metrics
+        # fault layer: bind one injector to every hook point.  All of its
+        # decisions derive from (world seed, entity, time slot), so shard
+        # workers and the serial loop agree on every injected failure.
+        self.faults: FaultInjector | None = None
+        if self.config.faults is not None and self.config.faults.enabled:
+            self.faults = FaultInjector(
+                self.config.faults, self._seed_base,
+                counter=metrics.counter(
+                    "fault_injections", "injected fault decisions that fired",
+                    labelnames=("kind",)),
+            )
+        world.internet.faults = self.faults
+        world.internet.resolver.faults = self.faults
+        world.internet.telemetry = self.telemetry
+        world.vt.faults = self.faults
+        world.bazaar.faults = self.faults
+        self.sandbox.faults = self.faults
         self._m_collected = metrics.counter(
             "samples_collected", "samples surviving the daily dedup/ELF filter")
         self._m_verified = metrics.counter(
@@ -117,6 +147,13 @@ class MalNet:
             "exploit_records", "exploit observations added to D-Exploits")
         self._m_ddos_records = metrics.counter(
             "ddos_records", "DDoS command observations added to D-DDOS")
+        self._m_quarantined = metrics.counter(
+            "samples_quarantined",
+            "samples whose analysis raised and was contained",
+            labelnames=("error",))
+        self._m_retries = metrics.counter(
+            "pipeline_retries", "retries of fallible pipeline operations",
+            labelnames=("stage",))
 
     # -- public API --------------------------------------------------------------
 
@@ -177,11 +214,11 @@ class MalNet:
         and the sandbox used to re-hash every binary up to three times).
         """
         candidates: dict[str, tuple[bytes, float, set[str]]] = {}
-        for entry in self.world.vt.feed_between(start, end):
+        for entry in self._pull_feed(self.world.vt, start, end):
             candidates[entry.sample.sha256] = (
                 entry.sample.data, entry.published, {"virustotal"}
             )
-        for entry in self.world.bazaar.feed_between(start, end):
+        for entry in self._pull_feed(self.world.bazaar, start, end):
             existing = candidates.get(entry.sample.sha256)
             if existing is None:
                 candidates[entry.sample.sha256] = (
@@ -206,6 +243,41 @@ class MalNet:
             collected.append((sha256, data, published, source))
         self._m_collected.inc(len(collected))
         return collected
+
+    def _pull_feed(self, service, start: float, end: float) -> list:
+        """One feed's daily pull, with retries and outage backfill.
+
+        A pull that hits an outage window is retried a few times
+        (control-plane retries: the simulation clock does not move); if
+        every attempt fails the window is left uncovered and the next
+        successful pull widens its window back to the cursor, so entries
+        published during an outage surface late instead of never.
+        """
+        name = service.feed_name
+        # setdefault, not get: if the very first pull fails, the cursor
+        # must already mark its window as uncovered or day 0 is lost
+        window_start = self._feed_cursor.setdefault(name, start)
+        for attempt in range(self.config.feed_retry.attempts):
+            try:
+                entries = service.feed_between(window_start, end,
+                                               attempt=attempt)
+            except FeedUnavailable:
+                if attempt + 1 < self.config.feed_retry.attempts:
+                    self._m_retries.labels(stage="feed").inc()
+                continue
+            if window_start < start:
+                self.telemetry.events.emit(
+                    "pipeline.feed_backfill", feed=name,
+                    recovered=len(entries),
+                    window_days=(end - window_start) / SECONDS_PER_DAY,
+                )
+            self._feed_cursor[name] = end
+            return entries
+        self.telemetry.events.warning(
+            "pipeline.feed_outage", feed=name,
+            day=int((start - self.world.epoch) // SECONDS_PER_DAY),
+        )
+        return []
 
     def _verify_and_label(self, sha256: str, now: float) -> tuple[bool, str | None, str]:
         """>=5-engine corroboration plus YARA/AVClass2 family labeling."""
@@ -239,18 +311,17 @@ class MalNet:
     def _analyze_binary(
         self, sha256: str, data: bytes, published: float, day: int, source: str
     ) -> BinaryNetworkProfile | None:
-        self._reseed_for(sha256)
-        now = self.world.internet.clock.now
-        is_malware, family_label, label_source = self._verify_and_label(
-            sha256, now)
-        if not is_malware:
-            self._m_skipped.labels(reason="unverified").inc()
-            return None
-        self._m_verified.inc()
+        """Analyze one sample, containing any per-sample failure.
+
+        The paper's fleet lost individual sandbox runs routinely; one
+        malformed IoC string or crashed activation must cost one sample,
+        not the study day.  Any exception escaping the analysis quarantines
+        the sample: a stub profile records the failure, telemetry counts
+        it, and the day's remaining samples proceed.
+        """
         try:
-            report = self.sandbox.analyze_offline(
-                data, scan_budget=self.world.scale.scan_budget, sha256=sha256
-            )
+            return self._analyze_binary_inner(sha256, data, published, day,
+                                              source)
         except EmulationError:
             # passed the cheap header filter but is not actually loadable
             # (corrupt sections, stripped behavior); skipped, like any
@@ -260,6 +331,51 @@ class MalNet:
                 "pipeline.emulation_error", day=day, sha256=sha256,
             )
             return None
+        except Exception as exc:
+            error = type(exc).__name__
+            self._m_quarantined.labels(error=error).inc()
+            self.telemetry.events.warning(
+                "pipeline.sample_quarantined", day=day, sha256=sha256,
+                error=error, detail=str(exc),
+            )
+            return BinaryNetworkProfile(
+                sha256=sha256, published=published, day=day, source=source,
+                quarantined=True, quarantine_reason=f"{error}: {exc}",
+            )
+
+    def _activate_with_retries(self, sha256: str, data: bytes):
+        """Sandbox activation with bounded retries on transient crashes.
+
+        Re-seeding before every attempt makes a retried activation draw
+        the exact stream a first-try activation would have drawn, so a
+        recovered transient crash leaves no trace in the datasets — the
+        property the fault-determinism tests pin down.
+        """
+        attempts = self.config.sandbox_retry.attempts
+        for attempt in range(attempts):
+            self._reseed_for(sha256)
+            try:
+                return self.sandbox.analyze_offline(
+                    data, scan_budget=self.world.scale.scan_budget,
+                    sha256=sha256, attempt=attempt,
+                )
+            except SandboxCrash:
+                if attempt + 1 >= attempts:
+                    raise
+                self._m_retries.labels(stage="sandbox").inc()
+
+    def _analyze_binary_inner(
+        self, sha256: str, data: bytes, published: float, day: int, source: str
+    ) -> BinaryNetworkProfile | None:
+        self._reseed_for(sha256)
+        now = self.world.internet.clock.now
+        is_malware, family_label, label_source = self._verify_and_label(
+            sha256, now)
+        if not is_malware:
+            self._m_skipped.labels(reason="unverified").inc()
+            return None
+        self._m_verified.inc()
+        report = self._activate_with_retries(sha256, data)
         if report.activated:
             self._m_activated.inc()
         profile = BinaryNetworkProfile(
@@ -300,7 +416,7 @@ class MalNet:
 
     def _resolve_endpoint(self, endpoint: str) -> int | None:
         """Resolve an IoC string to a routable address, via live DNS."""
-        if endpoint.replace(".", "").isdigit():
+        if is_ip_literal(endpoint):
             return ip_to_int(endpoint)
         return self.world.internet.resolver.resolve(
             endpoint, now=self.world.internet.clock.now
@@ -308,7 +424,7 @@ class MalNet:
 
     def _record_c2(self, profile, report, data: bytes, day: int) -> None:
         endpoint = report.c2_endpoint
-        is_dns = not endpoint.replace(".", "").isdigit()
+        is_dns = not is_ip_literal(endpoint)
         profile.c2_endpoint = endpoint
         profile.c2_port = report.c2_port
         profile.c2_is_dns = is_dns
@@ -352,15 +468,18 @@ class MalNet:
     def _check_liveness(self, data: bytes, endpoint: str, port: int,
                         sha256: str | None = None) -> bool:
         """Weaponized probe of the binary's own C2 (with 4h retries)."""
-        for attempt in range(1 + self.config.liveness_retries):
+        policy = RetryPolicy(attempts=1 + self.config.liveness_retries,
+                             backoff=4 * 3600.0, multiplier=1.0)
+        for attempt in range(policy.attempts):
             address = self._resolve_endpoint(endpoint)
             if address is not None:
                 results = self.sandbox.probe_targets(
                     data, [(address, port)], sha256=sha256)
                 if results and results[0].engaged:
                     return True
-            if attempt < self.config.liveness_retries:
-                self.world.internet.clock.advance(4 * 3600.0)
+            if attempt + 1 < policy.attempts:
+                self._m_retries.labels(stage="liveness").inc()
+                self.world.internet.clock.advance(policy.delay(attempt))
         return False
 
     def _observe_attacks(self, profile, record, data: bytes) -> None:

@@ -57,6 +57,10 @@ class BinaryNetworkProfile:
     scan_ports: list[int] = field(default_factory=list)
     # -- attacks -------------------------------------------------------------
     attacks: list[AttackObservation] = field(default_factory=list)
+    # -- degradation ---------------------------------------------------------
+    #: analysis raised; this is a stub profile recording the failure
+    quarantined: bool = False
+    quarantine_reason: str = ""
 
     @property
     def has_c2(self) -> bool:
@@ -68,6 +72,9 @@ class BinaryNetworkProfile:
 
     def summary_line(self) -> str:
         """One-line triage summary used by the report renderer."""
+        if self.quarantined:
+            return (f"{self.sha256[:12]} {self.family_label or '?':<10} "
+                    f"QUARANTINED ({self.quarantine_reason})")
         c2 = self.c2_endpoint or ("P2P" if self.is_p2p else "-")
         return (
             f"{self.sha256[:12]} {self.family_label or '?':<10} "

@@ -1,0 +1,44 @@
+"""Retry/backoff policy shared by the pipeline's fallible operations.
+
+The real study's consumers of flaky infrastructure — feed pulls, C2
+liveness probes, sandbox activations — all retry on failure.  A
+:class:`RetryPolicy` is a frozen value object so it can sit on
+``PipelineConfig`` and travel to shard workers; delays are *simulation*
+seconds (the pipeline decides whether an operation's retries advance the
+simulation clock, as the 4h-spaced liveness probes do, or are treated as
+instantaneous control-plane retries, as feed pulls are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "FEED_RETRY", "SANDBOX_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts with (optionally exponential) backoff."""
+
+    attempts: int = 3          # total attempts, including the first
+    backoff: float = 60.0      # delay after the first failure (seconds)
+    multiplier: float = 2.0    # backoff growth factor per further failure
+    max_backoff: float = 4 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff after failed attempt number ``attempt`` (0-based)."""
+        return min(self.backoff * self.multiplier ** attempt,
+                   self.max_backoff)
+
+
+#: Feed pulls: a few quick control-plane retries before giving the day up
+#: for backfill.
+FEED_RETRY = RetryPolicy(attempts=3, backoff=900.0)
+
+#: Sandbox activations: transient crashes get two more tries before the
+#: sample is quarantined.
+SANDBOX_RETRY = RetryPolicy(attempts=3, backoff=0.0)

@@ -63,6 +63,7 @@ def run_probing(world: World, malnet: MalNet,
 
 def _run_parallel(
     world: World, malnet: MalNet, workers: int, telemetry: Telemetry,
+    shard_timeout: float | None = 600.0, max_redispatch: int = 2,
 ) -> ProbingCampaign:
     """Sharded pipeline in a worker pool, probing overlapped in the parent.
 
@@ -72,14 +73,35 @@ def _run_parallel(
     parent can run it concurrently with the pool and still produce the
     same observations as the serial ordering.
     """
-    runner = ShardedStudyRunner(world, workers, config=malnet.config)
+    runner = ShardedStudyRunner(world, workers, config=malnet.config,
+                                shard_timeout=shard_timeout,
+                                max_redispatch=max_redispatch)
     with telemetry.tracer.span("study.pipeline", workers=workers):
         runner.start()
         with telemetry.tracer.span("study.probing"):
             campaign = run_probing(world, malnet, telemetry)
         shards = runner.join()
+    if runner.redispatches:
+        telemetry.metrics.counter(
+            "shard_redispatches",
+            "failed shard tasks re-dispatched to a fresh pool",
+        ).inc(runner.redispatches)
+        telemetry.events.warning(
+            "study.shard_redispatched", count=runner.redispatches,
+            failures={str(k): v for k, v in runner.failures.items()})
     merged = Datasets.merge([shard.datasets for shard in shards])
     merged.d_pc2 = list(malnet.datasets.d_pc2)
+    merged.failed_shards = list(runner.failed_shards)
+    if runner.failed_shards:
+        telemetry.metrics.counter(
+            "shards_failed", "shards with no result after every "
+            "re-dispatch wave (partial merge)",
+        ).inc(len(runner.failed_shards))
+        telemetry.events.warning(
+            "study.partial_merge", failed_shards=runner.failed_shards,
+            workers=workers,
+            failures={str(k): runner.failures[k]
+                      for k in runner.failed_shards})
     malnet.datasets = merged
     # c2/ddos records are deduplicated across shards, so their creation
     # counters cannot be summed — count the merged records instead, which
@@ -97,19 +119,25 @@ def _run_parallel(
 def run_study(
     world: World, config: PipelineConfig | None = None,
     telemetry: Telemetry | None = None, workers: int | None = None,
+    shard_timeout: float | None = 600.0, max_redispatch: int = 2,
 ) -> tuple[MalNet, ProbingCampaign, Datasets]:
     """Execute the complete measurement study on a generated world.
 
     ``workers=None`` (or 0) runs everything in-process; ``workers=N`` for
     N >= 1 shards the daily pipeline over N processes and merges, with
-    identical results.
+    identical results.  ``shard_timeout``/``max_redispatch`` bound how
+    long a lost shard worker is waited for and how often it is retried
+    (see :class:`~repro.core.parallel.ShardedStudyRunner`); shards that
+    still fail are reported in ``datasets.failed_shards``.
     """
     telemetry = telemetry or NULL_TELEMETRY
     malnet = MalNet(world, config, telemetry=telemetry)
     telemetry.events.emit("study.start", scale=world.scale.sample_fraction,
                           workers=workers or 0)
     if workers:
-        campaign = _run_parallel(world, malnet, workers, telemetry)
+        campaign = _run_parallel(world, malnet, workers, telemetry,
+                                 shard_timeout=shard_timeout,
+                                 max_redispatch=max_redispatch)
     else:
         with telemetry.tracer.span("study.pipeline"):
             malnet.run()

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..binary.builder import MalwareSample
 from ..intel.vendors import IocIntel, VendorDirectory
 from ..obs import LATENCY_BUCKETS, NULL_TELEMETRY, Telemetry
+from .pull import pull_window as _pull
 from .yara import RuleSet, community_iot_rules
 
 ENGINE_COUNT = 75
@@ -81,12 +82,17 @@ class FeedEntry:
 class VirusTotalService:
     """Deterministic VT stand-in: scans, feed, and vendor-backed TI."""
 
+    feed_name = "virustotal"
+
     def __init__(self, rng: random.Random, rules: RuleSet | None = None,
                  telemetry: Telemetry | None = None):
         self._rng = rng
         self.rules = rules or community_iot_rules()
         self.vendors = VendorDirectory()
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: optional fault injector (repro.netsim.faults): outage windows
+        #: and latency-spike days on the daily pull
+        self.faults = None
         self._feed: list[FeedEntry] = []
         self._by_hash: dict[str, FeedEntry] = {}
         self._intel: dict[str, IocIntel] = {}
@@ -149,9 +155,16 @@ class VirusTotalService:
         self._by_hash[sample.sha256] = entry
         return entry
 
-    def feed_between(self, start: float, end: float) -> list[FeedEntry]:
-        """Feed entries published in [start, end) — the daily pull."""
-        entries = [e for e in self._feed if start <= e.published < end]
+    def feed_between(self, start: float, end: float,
+                     attempt: int = 0) -> list[FeedEntry]:
+        """Feed entries published in [start, end) — the daily pull.
+
+        With a fault injector bound, a pull attempt may raise
+        :class:`~repro.netsim.faults.FeedUnavailable` (outage window) and
+        entries on latency-spike days become visible only once their
+        delayed publication instant falls inside the pull window.
+        """
+        entries = _pull(self, start, end, attempt)
         if entries:
             latency = self.telemetry.metrics.histogram(
                 "feed_latency_seconds",

@@ -62,6 +62,30 @@ def ip_to_int(text: str) -> int:
     return value
 
 
+def is_ip_literal(text: str) -> bool:
+    """Strict dotted-quad test: exactly four decimal octets in 0-255.
+
+    Endpoint strings extracted from malware configs are hostile input:
+    ``"1234"`` and ``"1.2.3"`` pass the naive
+    ``text.replace(".", "").isdigit()`` heuristic and then blow up in
+    :func:`ip_to_int`, while ``"999.1.1.1"`` is no address at all.  Only
+    a string this function accepts may be handed to :func:`ip_to_int`;
+    everything else must be treated as a DNS name.
+
+    >>> is_ip_literal("1.2.3.4")
+    True
+    >>> is_ip_literal("1.2.3"), is_ip_literal("1234"), is_ip_literal("999.1.1.1")
+    (False, False, False)
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        return False
+    for part in parts:
+        if not part.isdigit() or len(part) > 3 or int(part) > 255:
+            return False
+    return True
+
+
 def int_to_ip(value: int) -> str:
     """Render an integer as a dotted-quad IPv4 string.
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 QTYPE_A = 1
 QCLASS_IN = 1
 RCODE_NOERROR = 0
+RCODE_SERVFAIL = 2
 RCODE_NXDOMAIN = 3
 
 _HEADER = struct.Struct("!HHHHHH")
@@ -152,6 +153,9 @@ class Resolver:
     def __init__(self) -> None:
         #: name -> list of (effective_from_time, address or None)
         self._zones: dict[str, list[tuple[float, int | None]]] = {}
+        #: optional fault injector (repro.netsim.faults); transient
+        #: SERVFAIL slots make resolution retryable rather than absent
+        self.faults = None
 
     def register(self, name: str, address: int | None, since: float = 0.0) -> None:
         """Bind ``name`` to ``address`` (None = withdrawn) from ``since``."""
@@ -161,6 +165,8 @@ class Resolver:
 
     def resolve(self, name: str, now: float = 0.0) -> int | None:
         """Current A record for ``name`` at simulation time ``now``."""
+        if self.faults is not None and self.faults.dns_servfail(name, now):
+            return None
         history = self._zones.get(name.lower())
         if not history:
             return None
@@ -173,6 +179,10 @@ class Resolver:
 
     def answer(self, query: DnsQuery, now: float = 0.0) -> DnsResponse:
         """Build the wire response for a query."""
+        if self.faults is not None and self.faults.dns_servfail(query.name,
+                                                               now):
+            return DnsResponse(query.transaction_id, query.name,
+                               rcode=RCODE_SERVFAIL)
         address = self.resolve(query.name, now)
         if address is None:
             return DnsResponse(query.transaction_id, query.name, rcode=RCODE_NXDOMAIN)

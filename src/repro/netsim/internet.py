@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Protocol as TypingProtocol
 
+from ..obs import NULL_TELEMETRY
 from .addresses import ephemeral_port, int_to_ip
 from .capture import Capture
 from .dns import DnsQuery, DnsResponse, Resolver, random_transaction_id
@@ -222,6 +223,15 @@ class VirtualInternet:
         self.backbone = Capture(label="backbone")
         #: optional cap on backbone retention to bound memory in long runs
         self.backbone_limit: int | None = 2_000_000
+        #: packets the cap kept off the backbone — global analyses on a
+        #: capped run are truncated, and this is the signal saying so
+        self.backbone_dropped = 0
+        self._backbone_warned = False
+        #: optional fault injector (repro.netsim.faults)
+        self.faults = None
+        #: telemetry sink for the one-shot backbone-full warning; bound by
+        #: the pipeline, no-op by default
+        self.telemetry = NULL_TELEMETRY
 
     # -- topology -----------------------------------------------------------
 
@@ -245,6 +255,14 @@ class VirtualInternet:
             trace.add(pkt)
         if self.backbone_limit is None or len(self.backbone) < self.backbone_limit:
             self.backbone.add(pkt)
+        else:
+            self.backbone_dropped += 1
+            if not self._backbone_warned:
+                self._backbone_warned = True
+                self.telemetry.events.warning(
+                    "netsim.backbone_full", limit=self.backbone_limit,
+                    when=pkt.timestamp,
+                )
 
     def _stamp(self) -> float:
         """Advance the clock by the link latency and return the new time."""
@@ -256,6 +274,9 @@ class VirtualInternet:
         """Deliver one UDP/ICMP packet; returns replies (also recorded)."""
         pkt.timestamp = self._stamp()
         self._record(pkt, trace)
+        if self.faults is not None and self.faults.packet_lost(
+                pkt.dst, pkt.timestamp):
+            return []  # lost in transit: recorded at the source, never delivered
         host = self.hosts.get(pkt.dst)
         if host is None or not host.is_online(pkt.timestamp):
             return []
@@ -327,6 +348,9 @@ class VirtualInternet:
         client = TcpConnection(client_ip, server_ip, sport, server_port, self.rng, time=now)
         syn = client.open()
         self._record(syn, trace)
+        if self.faults is not None and self.faults.connection_fails(
+                server_ip, now):
+            return None  # SYN lost in a fault window: silent timeout
         host = self.hosts.get(server_ip)
         if host is None or not host.is_online(now):
             return None  # silent drop: no host there

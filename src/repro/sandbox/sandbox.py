@@ -29,6 +29,7 @@ from ..analysis.c2_detect import (
 from ..botnet.protocols.base import AttackCommand
 from ..netsim.addresses import ip_to_int
 from ..netsim.capture import Capture
+from ..netsim.faults import SandboxCrash
 from ..netsim.internet import VirtualInternet
 from ..obs import NULL_TELEMETRY, Telemetry
 from .handshaker import ExploitCapture, Handshaker
@@ -122,6 +123,9 @@ class CncHunterSandbox:
         self.bot_ip = bot_ip
         self.emulator = emulator or MipsEmulator(rng)
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: optional fault injector (repro.netsim.faults): transient
+        #: activation crashes, retried by the pipeline
+        self.faults = None
         metrics = self.telemetry.metrics
         self._m_activations = metrics.counter(
             "sandbox_activations", "offline activation attempts by outcome",
@@ -137,8 +141,20 @@ class CncHunterSandbox:
     # -- mode 1: offline analysis ------------------------------------------------
 
     def analyze_offline(self, data: bytes, scan_budget: int = 120,
-                        sha256: str | None = None) -> OfflineReport:
-        """Closed-world activation, C2 detection and exploit extraction."""
+                        sha256: str | None = None,
+                        attempt: int = 0) -> OfflineReport:
+        """Closed-world activation, C2 detection and exploit extraction.
+
+        The crash check sits before any emulation or RNG draw, so a
+        crashed attempt consumes nothing and the retry (same reseed)
+        replays the exact analysis a first-try success would have run.
+        """
+        if self.faults is not None and sha256 is not None \
+                and self.faults.sandbox_crash(sha256, attempt):
+            self._m_activations.labels(outcome="crashed").inc()
+            raise SandboxCrash(
+                f"sandbox crashed activating {sha256[:12]} "
+                f"(attempt {attempt})")
         with self.telemetry.tracer.span("sandbox.analyze") as span:
             try:
                 process = self.emulator.run(data, self.bot_ip, sha256=sha256)
