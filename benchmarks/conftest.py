@@ -3,21 +3,33 @@
 Each benchmark regenerates one table or figure from the paper's
 evaluation, prints a paper-vs-measured comparison, and asserts the
 paper's qualitative shape (who wins, rough factors, crossovers).  The
-timed section is the analysis computation; the study itself runs once per
-session.
+timed section is the analysis computation; the study itself is served
+from the persistent :class:`~repro.core.cache.StudyCache` (cold runs
+populate it with ``workers="auto"``), so repeated bench sessions skip
+the multi-second study entirely.  Point ``REPRO_BENCH_CACHE`` somewhere
+else to relocate the cache; delete the directory to force a cold run.
 """
+
+import os
 
 import pytest
 
+from repro.core.cache import StudyCache
 from repro.core.study import run_study
 from repro.world import generate_world
+
+BENCH_CACHE_DIR = os.environ.get(
+    "REPRO_BENCH_CACHE",
+    os.path.join(os.path.dirname(__file__), ".study_cache"),
+)
 
 
 @pytest.fixture(scope="session")
 def study():
     """The full-scale measurement study (1447 samples, 14-day probing)."""
     world = generate_world()
-    malnet, campaign, datasets = run_study(world)
+    malnet, campaign, datasets = run_study(
+        world, workers="auto", cache=StudyCache(BENCH_CACHE_DIR))
     return world, malnet, campaign, datasets
 
 

@@ -54,7 +54,7 @@ def _packets(count=1000):
                    TcpFlags.PSH | TcpFlags.ACK,
                    bytes(rng.randrange(256) for _ in range(64)),
                    seq=rng.randrange(2**32), timestamp=i * 0.001)
-        for i, count_ in enumerate(range(count))
+        for i in range(count)
     ]
 
 
@@ -113,3 +113,169 @@ def test_world_generation_cost(benchmark):
     world = benchmark(generate_world, 123, scale)
     assert len(world.truth.all_samples) == scale.total_samples
     record_round_histogram(benchmark, "world_generation")
+
+
+# -- scan burst: batched vs the un-batched reference ------------------------
+#
+# The scan path is the sandbox's hottest loop.  The un-batched reference
+# below reproduces the pre-optimization behavior exactly — per-call port
+# list and armed-exploit rebuilds, one eagerly constructed Packet per
+# SYN/PSH — and serves as the frozen baseline the batched path is timed
+# against.  Identical RNG draw order means both produce identical hits
+# and identical traces.
+
+_BURSTS = 40        # sandbox calls scan_burst once per observe slot
+_BURST_SIZE = 75
+
+
+def _scan_bot(seed):
+    from repro.binary.config import BotConfig
+    from repro.botnet.bot import Bot
+    from repro.botnet.exploits import KEY_TO_INDEX
+
+    config = BotConfig(
+        family="gafgyt", c2_host="203.0.113.9", c2_port=666,
+        scan_ports=[23],
+        exploit_ids=[KEY_TO_INDEX["CVE-2018-10561"],
+                     KEY_TO_INDEX["CVE-2015-2051"]],
+        loader_name="8UsA.sh", downloader="203.0.113.9:80",
+    )
+    return Bot(config, A, random.Random(seed))
+
+
+def _legacy_scan_targets(bot, count):
+    from repro.botnet.bot import TELNET_PORTS
+    from repro.botnet.exploits import EXPLOIT_INDEX
+    from repro.netsim.addresses import is_reserved
+
+    ports = list(bot.config.scan_ports) or list(TELNET_PORTS)
+    for index in bot.config.exploit_ids:
+        vuln = EXPLOIT_INDEX.get(index)
+        if vuln is not None and vuln.port not in ports:
+            ports.append(vuln.port)
+    targets = []
+    while len(targets) < count:
+        address = bot.rng.randrange(0x01000000, 0xDF000000)
+        if is_reserved(address):
+            continue
+        targets.append((address, bot.rng.choice(ports)))
+    return targets
+
+
+def _legacy_payload_for_port(bot, port):
+    from repro.botnet.bot import TELNET_CREDENTIALS, TELNET_PORTS
+    from repro.botnet.exploits import EXPLOIT_INDEX, vulnerability_for_index
+
+    if port in TELNET_PORTS:
+        user, password = bot.rng.choice(TELNET_CREDENTIALS)
+        return user + b"\r\n" + password + b"\r\n", None
+    armed = [
+        vulnerability_for_index(index)
+        for index in bot.config.exploit_ids
+        if index in EXPLOIT_INDEX
+    ]
+    matching = [vuln for vuln in armed if vuln.port == port]
+    if matching:
+        vuln = bot.rng.choice(matching)
+        downloader = bot.config.downloader or bot.config.c2_host
+        loader = bot.config.loader_name or "bot.sh"
+        return vuln.build_payload(downloader, loader), vuln
+    return b"GET / HTTP/1.0\r\n\r\n", None
+
+
+def _legacy_scan_burst(bot, adapter, count):
+    from repro.botnet.bot import ScanHit
+
+    hits = []
+    for address, port in _legacy_scan_targets(bot, count):
+        session = adapter.tcp_connect(address, port, None)
+        if session is None:
+            continue
+        payload, vuln = _legacy_payload_for_port(bot, port)
+        session.send(payload)
+        session.recv()
+        session.close()
+        hits.append(ScanHit(address, port, payload, vuln))
+    return hits
+
+
+def _eager_handshaker(seed):
+    from repro.netsim.addresses import ephemeral_port
+    from repro.sandbox.handshaker import ExploitCapture, Handshaker
+
+    class EagerHandshaker(Handshaker):
+        """Pre-optimization recording: one Packet built per SYN/PSH."""
+
+        def _record_syn(self, dst, port):
+            syn = tcp_packet(self.bot_ip, dst, ephemeral_port(self.rng),
+                             port, TcpFlags.SYN)
+            self._stamp(syn)
+            self.trace.add(syn)
+
+        def _collect(self, target, port, payload):
+            data = tcp_packet(self.bot_ip, target,
+                              ephemeral_port(self.rng), port,
+                              TcpFlags.PSH | TcpFlags.ACK, payload)
+            self._stamp(data)
+            self.trace.add(data)
+            key = (target, port)
+            existing = self._latest.get(key)
+            if existing is None:
+                capture = ExploitCapture(port=port, target=target,
+                                         payload=payload)
+                self._latest[key] = capture
+                self.captures.append(capture)
+            else:
+                existing.payload = payload
+
+    return EagerHandshaker(A, random.Random(seed), fanout_threshold=20)
+
+
+def _handshaker(seed):
+    from repro.sandbox.handshaker import Handshaker
+
+    return Handshaker(A, random.Random(seed), fanout_threshold=20)
+
+
+def test_scan_burst_batched_speedup(benchmark):
+    import time
+
+    # correctness first: the batched path and the un-batched reference
+    # must produce identical hits and byte-identical traces
+    bot, handshaker = _scan_bot(7), _handshaker(7)
+    hits = [h for _ in range(_BURSTS)
+            for h in bot.scan_burst(handshaker, _BURST_SIZE)]
+    legacy_bot, legacy_handshaker = _scan_bot(7), _eager_handshaker(7)
+    legacy_hits = [h for _ in range(_BURSTS)
+                   for h in _legacy_scan_burst(legacy_bot, legacy_handshaker,
+                                               _BURST_SIZE)]
+    assert hits == legacy_hits
+    assert handshaker.captures == legacy_handshaker.captures
+    assert list(handshaker.trace) == list(legacy_handshaker.trace)
+
+    def optimized():
+        b, h = _scan_bot(7), _handshaker(7)
+        for _ in range(_BURSTS):
+            b.scan_burst(h, _BURST_SIZE)
+
+    def legacy():
+        b, h = _scan_bot(7), _eager_handshaker(7)
+        for _ in range(_BURSTS):
+            _legacy_scan_burst(b, h, _BURST_SIZE)
+
+    benchmark(optimized)
+    record_round_histogram(benchmark, "scan_burst")
+
+    def best_of(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    speedup = best_of(legacy) / best_of(optimized)
+    benchmark.extra_info["speedup_vs_unbatched"] = round(speedup, 2)
+    assert speedup >= 2.0, (
+        f"batched scan path only {speedup:.2f}x faster than the "
+        "un-batched reference")

@@ -16,6 +16,7 @@ pipeline's shard scalability.  Two speedup numbers land in
 import os
 import time
 
+from repro.core.cache import StudyCache
 from repro.core.pipeline import MalNet, PipelineConfig
 from repro.core.study import run_study
 from repro.world import StudyScale, generate_world
@@ -24,6 +25,16 @@ SCALE = StudyScale(sample_fraction=0.3, probe_days=4,
                    observe_duration=1800.0, observe_poll_interval=300.0,
                    scan_budget=120)
 SEED = 20220322
+
+SMOKE = StudyScale(sample_fraction=0.05, probe_days=4,
+                   observe_duration=1800.0, observe_poll_interval=300.0,
+                   scan_budget=120)
+
+#: Committed baseline: serial smoke-scale ``run_study`` wall seconds,
+#: measured generously above what a loaded CI runner needs (a dev box
+#: does it in ~0.2 s).  The guard fails at >2x this number — it exists
+#: to catch order-of-magnitude hot-path regressions, not jitter.
+SMOKE_BASELINE_SECONDS = 1.5
 
 
 def _timed_study(workers=None):
@@ -88,3 +99,45 @@ def test_shard_critical_path_speedup(benchmark):
     assert speedup >= 1.5, (
         f"4-way sharding only cut the critical path {speedup:.2f}x "
         f"(shard times: {times})")
+
+
+def test_study_cache_warm_speedup(benchmark, tmp_path):
+    """A warm cache hit must beat recomputing the study >= 10x."""
+    cache = StudyCache(str(tmp_path / "study-cache"))
+
+    world = generate_world(seed=SEED, scale=SCALE)
+    start = time.perf_counter()
+    _malnet, _campaign, cold_datasets = run_study(world, cache=cache)
+    cold_elapsed = time.perf_counter() - start
+
+    def warm():
+        warm_world = generate_world(seed=SEED, scale=SCALE)
+        start = time.perf_counter()
+        _m, _c, datasets = run_study(warm_world, cache=cache)
+        return time.perf_counter() - start, datasets
+
+    warm_elapsed, warm_datasets = benchmark.pedantic(warm, rounds=1,
+                                                     iterations=1)
+    assert warm_datasets == cold_datasets
+    assert cache.hits == 1
+    speedup = cold_elapsed / warm_elapsed
+    benchmark.extra_info["cold_seconds"] = round(cold_elapsed, 3)
+    benchmark.extra_info["warm_seconds"] = round(warm_elapsed, 4)
+    benchmark.extra_info["warm_speedup"] = round(speedup, 1)
+    assert speedup >= 10.0, (
+        f"warm cache only {speedup:.1f}x faster than the cold run")
+
+
+def test_serial_smoke_throughput_guard():
+    """Cheap regression tripwire on the serial hot path.
+
+    Runs everywhere (no benchmark plugin needed): the smoke-scale serial
+    study must stay within 2x the committed baseline.
+    """
+    world = generate_world(seed=SEED, scale=SMOKE)
+    start = time.perf_counter()
+    run_study(world)
+    elapsed = time.perf_counter() - start
+    assert elapsed <= 2 * SMOKE_BASELINE_SECONDS, (
+        f"serial smoke study took {elapsed:.2f}s — more than 2x the "
+        f"committed {SMOKE_BASELINE_SECONDS}s baseline")

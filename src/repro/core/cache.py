@@ -1,0 +1,208 @@
+"""Persistent, content-addressed cache of completed studies.
+
+A study's output is a pure function of ``(seed, scale, PipelineConfig)``
+— that is the invariant PR 2/3 enforce — plus the code that computes it.
+:class:`StudyCache` exploits this: :func:`study_fingerprint` hashes all
+four ingredients (the fault plan and retry policies ride along inside
+the config, the code version is a digest over the ``repro`` package
+sources), and the cache stores the serialized :class:`Datasets` together
+with the probing campaign's observations under that fingerprint.  A hit
+reconstructs the exact bytes a fresh run would produce; any change to
+seed, scale, faults, config, or code changes the fingerprint and misses.
+
+Entries are self-verifying: ``magic + format version + payload sha256 +
+pickle``.  Reads treat *any* mismatch — truncation, corruption, foreign
+files, unpicklable payloads — as a miss and fall through to recompute;
+writes are atomic (temp file + ``os.replace``) so a crashed writer never
+leaves a half-entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+
+from .datasets import Datasets
+from .pipeline import PipelineConfig
+
+__all__ = ["CachedStudy", "StudyCache", "dataset_digest",
+           "code_fingerprint", "study_fingerprint"]
+
+#: entry file layout: magic + 1-byte format version + payload sha256
+_MAGIC = b"RPSC"
+_FORMAT_VERSION = 1
+_HEADER_LEN = len(_MAGIC) + 1 + hashlib.sha256().digest_size
+
+_CODE_FINGERPRINT: str | None = None
+
+
+# -- canonical digests -------------------------------------------------------
+
+
+def _canon(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                f.name: _canon(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+                if f.compare
+            },
+        }
+    if isinstance(value, dict):
+        return [[_canon(k), _canon(v)] for k, v in value.items()]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canon(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, float):
+        return repr(value)
+    return value
+
+
+def dataset_digest(datasets) -> str:
+    """Canonical sha256 over a :class:`Datasets` (or any dataclass tree).
+
+    Stable across processes and ``PYTHONHASHSEED`` values: sets are
+    sorted, floats use ``repr``, and non-compare fields (caches, indexes)
+    are excluded — two equal datasets always digest identically.  This is
+    the byte-identity oracle used by the golden tests and the cache
+    correctness tests.
+    """
+    text = json.dumps(_canon(datasets), separators=(",", ":"),
+                      sort_keys=False)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def code_fingerprint() -> str:
+    """sha256 over the ``repro`` package sources (memoized per process).
+
+    A cached study must never survive a code change — the whole point of
+    the optimization PRs is that behavior is a function of the sources.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        hasher = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                hasher.update(os.path.relpath(path, package_root).encode())
+                with open(path, "rb") as fh:
+                    hasher.update(fh.read())
+        _CODE_FINGERPRINT = hasher.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def study_fingerprint(seed: int, scale, config: PipelineConfig | None = None,
+                      code: str | None = None) -> str:
+    """Content address of one study: (seed, scale, config, code version).
+
+    ``config=None`` fingerprints identically to an explicit default
+    ``PipelineConfig()`` — they run the same study.  The fault plan and
+    retry policies are dataclass fields of the config, so they are part
+    of the address automatically.
+    """
+    ingredients = {
+        "seed": seed,
+        "scale": _canon(scale),
+        "config": _canon(config or PipelineConfig()),
+        "code": code if code is not None else code_fingerprint(),
+    }
+    text = json.dumps(ingredients, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+# -- the cache ---------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CachedStudy:
+    """Everything needed to reconstruct a study result without running it.
+
+    The observations list and ``datasets.d_pc2`` share objects; pickling
+    the bundle as one graph preserves that aliasing on load.
+    """
+
+    datasets: Datasets
+    observations: list
+    discovered: set
+
+
+class StudyCache:
+    """On-disk study store keyed by :func:`study_fingerprint`.
+
+    ``hits`` / ``misses`` / ``rejected`` count lookups for telemetry and
+    tests; ``rejected`` counts entries that existed but failed
+    verification (and were treated as misses).
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+
+    def path_for(self, fingerprint: str) -> str:
+        return os.path.join(self.root, f"{fingerprint}.study")
+
+    def get(self, fingerprint: str) -> CachedStudy | None:
+        """The cached study for ``fingerprint``, or None on any doubt."""
+        try:
+            with open(self.path_for(fingerprint), "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            self.misses += 1
+            return None
+        entry = self._verify(blob)
+        if entry is None:
+            self.rejected += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    @staticmethod
+    def _verify(blob: bytes) -> CachedStudy | None:
+        if len(blob) <= _HEADER_LEN or not blob.startswith(_MAGIC):
+            return None
+        if blob[len(_MAGIC)] != _FORMAT_VERSION:
+            return None
+        checksum = blob[len(_MAGIC) + 1:_HEADER_LEN]
+        payload = blob[_HEADER_LEN:]
+        if hashlib.sha256(payload).digest() != checksum:
+            return None
+        try:
+            entry = pickle.loads(payload)
+        except Exception:
+            return None
+        return entry if isinstance(entry, CachedStudy) else None
+
+    def put(self, fingerprint: str, entry: CachedStudy) -> str:
+        """Atomically persist ``entry``; returns the entry path."""
+        payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = (_MAGIC + bytes([_FORMAT_VERSION])
+                + hashlib.sha256(payload).digest() + payload)
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path_for(fingerprint)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path

@@ -8,16 +8,34 @@ for the same ``(seed, scale)``.
 
 from __future__ import annotations
 
+import os
 import random
 
 from ..determinism import stable_seed
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..sandbox.qemu import MipsEmulator
 from ..world.generator import World
+from .cache import CachedStudy, StudyCache, study_fingerprint
 from .datasets import Datasets
 from .parallel import ShardedStudyRunner, fold_counters
 from .pipeline import MalNet, PipelineConfig
 from .probing import ProbingCampaign
+
+#: parallel-width ceiling for ``workers="auto"`` — the envelope the
+#: serial == merged-parallel invariant is exercised against in CI
+AUTO_WORKERS_MAX = 4
+
+
+def resolve_workers(workers) -> int | None:
+    """Resolve the ``workers`` argument; ``"auto"`` fits the machine."""
+    if workers != "auto":
+        return workers
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    workers = min(AUTO_WORKERS_MAX, cpus)
+    return workers if workers > 1 else None
 
 
 def select_probe_binaries(world: World) -> list[bytes]:
@@ -116,21 +134,69 @@ def _run_parallel(
     return campaign
 
 
+def _restore_study(
+    world: World, config: PipelineConfig | None, telemetry: Telemetry,
+    entry: CachedStudy,
+) -> tuple[MalNet, ProbingCampaign, Datasets]:
+    """Rebuild the (malnet, campaign, datasets) triple from a cache hit.
+
+    The campaign's observations and discovery set are restored verbatim,
+    so its derived views (``response_matrix``, repeat-response rate) are
+    the ones a fresh run would compute.
+    """
+    malnet = MalNet(world, config, telemetry=telemetry)
+    malnet.datasets = entry.datasets
+    campaign = ProbingCampaign(
+        internet=world.internet,
+        sandbox=malnet.sandbox,
+        subnets=list(world.truth.probe_subnets),
+        sample_binaries=[],
+        start=world.probe_start,
+        days=world.scale.probe_days,
+        telemetry=telemetry,
+        world_seed=world.seed,
+    )
+    campaign.observations = list(entry.observations)
+    campaign.discovered = set(entry.discovered)
+    return malnet, campaign, malnet.datasets
+
+
 def run_study(
     world: World, config: PipelineConfig | None = None,
-    telemetry: Telemetry | None = None, workers: int | None = None,
+    telemetry: Telemetry | None = None, workers=None,
     shard_timeout: float | None = 600.0, max_redispatch: int = 2,
+    cache: StudyCache | str | None = None,
 ) -> tuple[MalNet, ProbingCampaign, Datasets]:
     """Execute the complete measurement study on a generated world.
 
     ``workers=None`` (or 0) runs everything in-process; ``workers=N`` for
     N >= 1 shards the daily pipeline over N processes and merges, with
-    identical results.  ``shard_timeout``/``max_redispatch`` bound how
-    long a lost shard worker is waited for and how often it is retried
-    (see :class:`~repro.core.parallel.ShardedStudyRunner`); shards that
-    still fail are reported in ``datasets.failed_shards``.
+    identical results; ``workers="auto"`` picks a width that fits the
+    machine.  ``shard_timeout``/``max_redispatch`` bound how long a lost
+    shard worker is waited for and how often it is retried (see
+    :class:`~repro.core.parallel.ShardedStudyRunner`); shards that still
+    fail are reported in ``datasets.failed_shards``.
+
+    ``cache`` (a :class:`~repro.core.cache.StudyCache` or a directory
+    path) short-circuits the whole run when an entry for this exact
+    (seed, scale, config, code version) exists — the returned datasets
+    and observations are byte-identical to a fresh run's.  Partial
+    results (failed shards) are never cached.
     """
     telemetry = telemetry or NULL_TELEMETRY
+    workers = resolve_workers(workers)
+    if isinstance(cache, (str, os.PathLike)):
+        cache = StudyCache(cache)
+    fingerprint = None
+    if cache is not None and world.seed is not None:
+        fingerprint = study_fingerprint(world.seed, world.scale, config)
+        entry = cache.get(fingerprint)
+        if entry is not None:
+            telemetry.events.emit("study.cache_hit", fingerprint=fingerprint)
+            result = _restore_study(world, config, telemetry, entry)
+            telemetry.events.emit(
+                "study.complete", sizes=dict(result[2].summary()))
+            return result
     malnet = MalNet(world, config, telemetry=telemetry)
     telemetry.events.emit("study.start", scale=world.scale.sample_fraction,
                           workers=workers or 0)
@@ -143,6 +209,13 @@ def run_study(
             malnet.run()
         with telemetry.tracer.span("study.probing"):
             campaign = run_probing(world, malnet, telemetry)
+    if fingerprint is not None and not malnet.datasets.failed_shards:
+        cache.put(fingerprint, CachedStudy(
+            datasets=malnet.datasets,
+            observations=campaign.observations,
+            discovered=campaign.discovered,
+        ))
+        telemetry.events.emit("study.cache_store", fingerprint=fingerprint)
     telemetry.events.emit("study.complete",
                           sizes=dict(malnet.datasets.summary()))
     return malnet, campaign, malnet.datasets

@@ -196,7 +196,13 @@ class VirusTotalService:
         return self.vendors.flags_at(intel, query_time)
 
     def is_malicious(self, ioc: str, query_time: float) -> bool:
-        return bool(self.ioc_report(ioc, query_time))
+        # liveness checks only need "does anyone flag it" — answered from
+        # the directory's earliest-detection memo without building the
+        # per-vendor name list ioc_report would return
+        intel = self._intel.get(ioc)
+        if intel is None:
+            return False
+        return self.vendors.flags_any_at(intel, query_time)
 
     def eventual_vendor_count(self, ioc: str) -> int:
         intel = self._intel.get(ioc)

@@ -111,33 +111,79 @@ class IocIntel:
 
 
 class VendorDirectory:
-    """Evaluates which vendors flag which IoC at a given time."""
+    """Evaluates which vendors flag which IoC at a given time.
+
+    All per-(vendor, ioc) draws are deterministic hashes, and
+    :class:`IocIntel` is immutable per IoC for the lifetime of a study —
+    so the 89-vendor sweep is computed exactly once per IoC and every
+    later query (``flags_at`` per liveness check, ``eventual_flaggers``
+    per Table 7 row, the re-query measurement of Table 3) is a lookup
+    over the memoized per-IoC detection-time table.
+    """
 
     def __init__(self) -> None:
         self.vendors = build_vendor_directory()
+        self._by_name = {vendor.name: vendor for vendor in self.vendors}
+        #: per-IoC memo: intel attributes -> {vendor name: detection unix
+        #: time or None} in directory order
+        self._tables: dict[tuple, dict[str, float | None]] = {}
+        #: per-IoC earliest detection time across all vendors (None if
+        #: no vendor ever flags) — the ``is_malicious`` fast path
+        self._earliest: dict[tuple, float | None] = {}
 
-    def eventually_flags(self, vendor: Vendor, intel: IocIntel) -> bool:
+    @staticmethod
+    def _eventually_flags(vendor: Vendor, intel: IocIntel) -> bool:
         if vendor.threshold <= 0.0:
             return False
         noise = NOISE_SCALE * _gauss_hash(vendor.name, intel.ioc, "flag")
         return intel.obscurity + noise <= vendor.threshold
 
-    def detection_time(self, vendor: Vendor, intel: IocIntel) -> float | None:
-        """Unix time the vendor's feed starts flagging the IoC, or None."""
-        if not self.eventually_flags(vendor, intel):
+    def _detection_time(self, vendor: Vendor, intel: IocIntel) -> float | None:
+        if not self._eventually_flags(vendor, intel):
             return None
         jitter = vendor.lag_days * _unit_hash(vendor.name, intel.ioc, "lag")
         delay_days = intel.publicity_delay_days + jitter
         return intel.first_public + delay_days * 86400.0
 
+    @staticmethod
+    def _key(intel: IocIntel) -> tuple:
+        return (intel.ioc, intel.first_public, intel.obscurity,
+                intel.publicity_delay_days)
+
+    def _table(self, intel: IocIntel) -> dict[str, float | None]:
+        key = self._key(intel)
+        table = self._tables.get(key)
+        if table is None:
+            table = {vendor.name: self._detection_time(vendor, intel)
+                     for vendor in self.vendors}
+            self._tables[key] = table
+            times = [when for when in table.values() if when is not None]
+            self._earliest[key] = min(times) if times else None
+        return table
+
+    def eventually_flags(self, vendor: Vendor, intel: IocIntel) -> bool:
+        return self.detection_time(vendor, intel) is not None
+
+    def detection_time(self, vendor: Vendor, intel: IocIntel) -> float | None:
+        """Unix time the vendor's feed starts flagging the IoC, or None."""
+        if self._by_name.get(vendor.name) == vendor:
+            return self._table(intel)[vendor.name]
+        # a vendor not in this directory: fall back to the direct hashes
+        return self._detection_time(vendor, intel)
+
     def flags_at(self, intel: IocIntel, query_time: float) -> list[str]:
         """Vendor names whose feeds flag the IoC at ``query_time``."""
-        names = []
-        for vendor in self.vendors:
-            when = self.detection_time(vendor, intel)
-            if when is not None and when <= query_time:
-                names.append(vendor.name)
-        return names
+        return [
+            name for name, when in self._table(intel).items()
+            if when is not None and when <= query_time
+        ]
+
+    def flags_any_at(self, intel: IocIntel, query_time: float) -> bool:
+        """True if at least one vendor flags the IoC at ``query_time``."""
+        self._table(intel)
+        earliest = self._earliest[self._key(intel)]
+        return earliest is not None and earliest <= query_time
 
     def eventual_flaggers(self, intel: IocIntel) -> list[str]:
-        return [v.name for v in self.vendors if self.eventually_flags(v, intel)]
+        return [name for name, when in self._table(intel).items()
+                if when is not None]

@@ -99,15 +99,6 @@ def int_to_ip(value: int) -> str:
     )
 
 
-def is_reserved(value: int) -> bool:
-    """True if the address falls in a private/reserved block."""
-    for network, prefix in _RESERVED_BLOCKS:
-        mask = prefix_mask(prefix)
-        if value & mask == network:
-            return True
-    return False
-
-
 def prefix_mask(prefix: int) -> int:
     """Netmask integer for a prefix length (``/24`` -> 0xFFFFFF00)."""
     if not 0 <= prefix <= 32:
@@ -115,6 +106,45 @@ def prefix_mask(prefix: int) -> int:
     if prefix == 0:
         return 0
     return (MAX_IPV4 << (32 - prefix)) & MAX_IPV4
+
+
+#: (network, mask) pairs for the reserved blocks — masks computed once,
+#: is_reserved runs per candidate address on the scan hot path
+_RESERVED_MASKED = tuple(
+    (network, prefix_mask(prefix)) for network, prefix in _RESERVED_BLOCKS
+)
+
+
+def _reserved_octet_entry(octet: int):
+    """Reserved-block dispatch for one first octet: True if the whole /8
+    is reserved, None if none of it is, else the blocks to test."""
+    lo, hi = octet << 24, (octet << 24) | 0xFFFFFF
+    partial = []
+    for network, mask in _RESERVED_MASKED:
+        block_hi = network | (~mask & MAX_IPV4)
+        if block_hi < lo or network > hi:
+            continue
+        if network <= lo and hi <= block_hi:
+            return True
+        partial.append((network, mask))
+    return tuple(partial) if partial else None
+
+
+#: per-first-octet dispatch table: most octets resolve with one index
+_RESERVED_BY_OCTET = tuple(_reserved_octet_entry(o) for o in range(256))
+
+
+def is_reserved(value: int) -> bool:
+    """True if the address falls in a private/reserved block."""
+    blocks = _RESERVED_BY_OCTET[value >> 24]
+    if blocks is None:
+        return False
+    if blocks is True:
+        return True
+    for network, mask in blocks:
+        if value & mask == network:
+            return True
+    return False
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,6 @@ persisted to a pcap byte string and reloaded losslessly.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
 from typing import BinaryIO, Iterable, Iterator
 
 from .packet import Packet, Protocol, decode_packet, encode_packet
@@ -103,27 +102,83 @@ class PcapReader:
             yield decode_packet(data, timestamp=seconds + micros / 1_000_000)
 
 
-@dataclass
 class Capture:
-    """An ordered, timestamped packet capture plus query helpers."""
+    """An ordered, timestamped packet capture plus query helpers.
 
-    packets: list[Packet] = field(default_factory=list)
-    label: str = ""
+    Recording supports two speeds.  :meth:`add` appends a materialized
+    :class:`Packet`.  :meth:`add_deferred` appends only a builder and its
+    arguments — the scan hot path records tens of thousands of SYNs that
+    are usually never read (C2 detection runs on the earlier part of the
+    trace), so the ``Packet`` objects are built lazily, in recording
+    order and with the timestamps fixed at record time, the first time
+    :attr:`packets` is actually read.  Either way the observable packet
+    list is identical; laziness only moves the construction cost.
+    """
+
+    __slots__ = ("_packets", "_deferred", "label")
+
+    def __init__(self, packets: list[Packet] | None = None, label: str = ""):
+        self._packets: list[Packet] = packets if packets is not None else []
+        self._deferred: list[tuple] = []
+        self.label = label
+
+    @property
+    def packets(self) -> list[Packet]:
+        if self._deferred:
+            self._materialize()
+        return self._packets
+
+    @packets.setter
+    def packets(self, packets: list[Packet]) -> None:
+        self._packets = packets
+        self._deferred.clear()
+
+    def _materialize(self) -> None:
+        append = self._packets.append
+        for build, args in self._deferred:
+            append(build(*args))
+        self._deferred.clear()
 
     def add(self, pkt: Packet) -> None:
-        self.packets.append(pkt)
+        if self._deferred:
+            self._materialize()
+        self._packets.append(pkt)
+
+    def add_deferred(self, build, args: tuple) -> None:
+        """Record ``build(*args)`` without constructing the packet yet."""
+        self._deferred.append((build, args))
 
     def extend(self, packets: Iterable[Packet]) -> None:
-        self.packets.extend(packets)
+        if self._deferred:
+            self._materialize()
+        self._packets.extend(packets)
 
     def __len__(self) -> int:
-        return len(self.packets)
+        return len(self._packets) + len(self._deferred)
 
     def __iter__(self) -> Iterator[Packet]:
         return iter(self.packets)
 
     def __getitem__(self, index: int) -> Packet:
         return self.packets[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Capture):
+            return NotImplemented
+        return self.label == other.label and self.packets == other.packets
+
+    def __repr__(self) -> str:
+        return (f"Capture(packets=<{len(self)} packets>, "
+                f"label={self.label!r})")
+
+    # deferred builders may close over live objects; pickles carry the
+    # materialized list so they stay self-contained
+    def __getstate__(self):
+        return (self.packets, self.label)
+
+    def __setstate__(self, state) -> None:
+        self._packets, self.label = state
+        self._deferred = []
 
     # -- queries -----------------------------------------------------------
 

@@ -51,7 +51,7 @@ class PacketError(ValueError):
     """Raised when wire bytes cannot be decoded."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A single IPv4 datagram in flight inside the virtual Internet.
 
@@ -190,8 +190,22 @@ def _encode_icmp(pkt: Packet) -> bytes:
     return body[:2] + struct.pack("!H", check) + body[4:]
 
 
+#: memoized wire bytes for repeated header shapes — flood traffic and
+#: scan SYNs re-encode the same few (addresses, ports, flags, payload)
+#: combinations thousands of times; the timestamp lives only in the pcap
+#: record header, so it is not part of the key
+_ENCODE_CACHE: dict[tuple, bytes] = {}
+_ENCODE_CACHE_MAX = 4096
+
+
 def encode_packet(pkt: Packet) -> bytes:
     """Serialize a :class:`Packet` to IPv4 wire bytes with valid checksums."""
+    key = (pkt.src, pkt.dst, pkt.protocol, pkt.sport, pkt.dport,
+           pkt.payload, pkt.flags, pkt.seq, pkt.ack, pkt.ttl,
+           pkt.icmp_type, pkt.icmp_code)
+    data = _ENCODE_CACHE.get(key)
+    if data is not None:
+        return data
     if pkt.protocol == Protocol.TCP:
         transport = _encode_tcp(pkt)
     elif pkt.protocol == Protocol.UDP:
@@ -200,7 +214,11 @@ def encode_packet(pkt: Packet) -> bytes:
         transport = _encode_icmp(pkt)
     else:  # pragma: no cover - Protocol enum is closed
         raise PacketError(f"unsupported protocol: {pkt.protocol}")
-    return _ipv4_header(pkt, IPV4_HEADER_LEN + len(transport)) + transport
+    data = _ipv4_header(pkt, IPV4_HEADER_LEN + len(transport)) + transport
+    if len(_ENCODE_CACHE) >= _ENCODE_CACHE_MAX:
+        _ENCODE_CACHE.clear()
+    _ENCODE_CACHE[key] = data
+    return data
 
 
 # -- decoding ---------------------------------------------------------------

@@ -25,6 +25,9 @@ from ..netsim.packet import Packet, TcpFlags, tcp_packet
 #: ports contacted on more than this many distinct IPs get a fake victim
 DEFAULT_FANOUT_THRESHOLD = 20
 
+_SYN = TcpFlags.SYN
+_PSH_ACK = TcpFlags.PSH | TcpFlags.ACK
+
 
 @dataclass
 class ExploitCapture:
@@ -37,6 +40,8 @@ class ExploitCapture:
 
 class _VictimSession:
     """Fake-victim endpoint handed back to the malware."""
+
+    __slots__ = ("_handshaker", "_target", "_port", "_received", "closed")
 
     def __init__(self, handshaker: "Handshaker", target: int, port: int):
         self._handshaker = handshaker
@@ -78,6 +83,7 @@ class Handshaker:
         self.rng = rng
         self.fanout_threshold = fanout_threshold
         self.trace = trace if trace is not None else Capture(label="handshaker")
+        self._defer = self.trace.add_deferred
         self.base_time = base_time
         self._ticks = 0
         #: port -> distinct target IPs observed
@@ -92,7 +98,9 @@ class Handshaker:
 
     def tcp_connect(self, dst: int, port: int, trace: Capture | None = None):
         self._record_syn(dst, port)
-        targets = self.fanout.setdefault(port, set())
+        targets = self.fanout.get(port)
+        if targets is None:
+            targets = self.fanout[port] = set()
         targets.add(dst)
         if port not in self.redirected_ports:
             if len(targets) > self.fanout_threshold:
@@ -120,16 +128,22 @@ class Handshaker:
         pkt.timestamp = self.base_time + self._ticks * 0.005
 
     def _record_syn(self, dst: int, port: int) -> None:
-        syn = tcp_packet(self.bot_ip, dst, ephemeral_port(self.rng), port,
-                         TcpFlags.SYN)
-        self._stamp(syn)
-        self.trace.add(syn)
+        # the SYN's randomness (ephemeral port) and timestamp are drawn
+        # NOW, in trace order; only the Packet object is built lazily —
+        # most scan-phase packets are recorded but never read, so the
+        # deferred trace materializes byte-identical packets on demand
+        self._ticks += 1
+        self._defer(
+            tcp_packet,
+            (self.bot_ip, dst, self.rng.randrange(49152, 65536), port,
+             _SYN, b"", 0, 0, self.base_time + self._ticks * 0.005))
 
     def _collect(self, target: int, port: int, payload: bytes) -> None:
-        data = tcp_packet(self.bot_ip, target, ephemeral_port(self.rng), port,
-                          TcpFlags.PSH | TcpFlags.ACK, payload)
-        self._stamp(data)
-        self.trace.add(data)
+        self._ticks += 1
+        self._defer(
+            tcp_packet,
+            (self.bot_ip, target, self.rng.randrange(49152, 65536), port,
+             _PSH_ACK, payload, 0, 0, self.base_time + self._ticks * 0.005))
         key = (target, port)
         existing = self._latest.get(key)
         if existing is None:
@@ -150,8 +164,10 @@ class Handshaker:
         return [port for _count, port in sorted(crossed, reverse=True)]
 
     def distinct_payloads(self) -> list[bytes]:
-        seen: list[bytes] = []
+        seen: set[bytes] = set()
+        ordered: list[bytes] = []
         for capture in self.captures:
             if capture.payload not in seen:
-                seen.append(capture.payload)
-        return seen
+                seen.add(capture.payload)
+                ordered.append(capture.payload)
+        return ordered

@@ -1,0 +1,256 @@
+"""Persistent study cache: fingerprinting, correctness, and the golden
+byte-identity values.
+
+The golden digests below were captured from the pre-optimization code on
+the same (seed, scale); they pin down that the batched scan path, the
+lazy capture, and the TI memoization did not change a single byte of the
+study's output.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.cache import (
+    CachedStudy,
+    StudyCache,
+    code_fingerprint,
+    dataset_digest,
+    study_fingerprint,
+)
+from repro.core.pipeline import PipelineConfig
+from repro.core.study import run_study
+from repro.netsim.faults import FAULT_PLANS
+from repro.world import generate_world
+
+from .conftest import SMOKE
+
+SEED = 20220322
+
+#: dataset_digest of the smoke study at SEED, captured before the PR 5
+#: hot-path optimizations landed — the byte-identity oracle
+GOLDEN_PLAIN = "8c5016ee222516adeade02048d2a7804b66842692b764217a0ad3655273d3e85"
+#: same study under the mild fault plan (recovered faults are traceless
+#: at smoke scale, so it coincides with the plain digest — see PR 3)
+GOLDEN_MILD = GOLDEN_PLAIN
+#: and under the heavy plan, where faults do leave a trace
+GOLDEN_HEAVY = "1492e3a37e318a6398404f090ac1bfc9750f59110ae28f0a60797d5e8babaadc"
+
+
+class TestGoldenByteIdentity:
+    def test_smoke_study_matches_preoptimization_bytes(self, smoke_study):
+        _world, _malnet, _campaign, datasets = smoke_study
+        assert dataset_digest(datasets) == GOLDEN_PLAIN
+
+    def test_mild_faults_match_preoptimization_bytes(self):
+        world = generate_world(seed=SEED, scale=SMOKE)
+        config = PipelineConfig(faults=FAULT_PLANS["mild"])
+        _m, _c, datasets = run_study(world, config=config)
+        assert dataset_digest(datasets) == GOLDEN_MILD
+
+    def test_heavy_faults_match_preoptimization_bytes(self):
+        world = generate_world(seed=SEED, scale=SMOKE)
+        config = PipelineConfig(faults=FAULT_PLANS["heavy"])
+        _m, _c, datasets = run_study(world, config=config)
+        assert dataset_digest(datasets) == GOLDEN_HEAVY
+
+    def test_digest_discriminates(self, smoke_study):
+        # the oracle is only an oracle if different outputs digest
+        # differently
+        world = generate_world(seed=99, scale=SMOKE)
+        _m, _c, datasets = run_study(world)
+        assert dataset_digest(datasets) != GOLDEN_PLAIN
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        a = study_fingerprint(SEED, SMOKE)
+        b = study_fingerprint(SEED, SMOKE)
+        assert a == b
+
+    def test_none_config_equals_default_config(self):
+        assert study_fingerprint(SEED, SMOKE) == \
+            study_fingerprint(SEED, SMOKE, PipelineConfig())
+
+    def test_seed_scale_config_faults_all_change_it(self):
+        base = study_fingerprint(SEED, SMOKE)
+        import dataclasses
+
+        other_scale = dataclasses.replace(SMOKE, probe_days=5)
+        variants = [
+            study_fingerprint(SEED + 1, SMOKE),
+            study_fingerprint(SEED, other_scale),
+            study_fingerprint(SEED, SMOKE,
+                              PipelineConfig(liveness_retries=2)),
+            study_fingerprint(SEED, SMOKE,
+                              PipelineConfig(faults=FAULT_PLANS["mild"])),
+            study_fingerprint(SEED, SMOKE,
+                              PipelineConfig(faults=FAULT_PLANS["heavy"])),
+        ]
+        assert base not in variants
+        assert len(set(variants)) == len(variants)
+
+    def test_code_version_changes_it(self):
+        real = study_fingerprint(SEED, SMOKE)
+        fake = study_fingerprint(SEED, SMOKE, code="0" * 64)
+        assert real != fake
+        assert code_fingerprint() == code_fingerprint()  # memoized
+
+
+class TestStudyCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = StudyCache(str(tmp_path))
+        world = generate_world(seed=SEED, scale=SMOKE)
+        _m, campaign, datasets = run_study(world, cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+
+        world = generate_world(seed=SEED, scale=SMOKE)
+        _m2, campaign2, datasets2 = run_study(world, cache=cache)
+        assert cache.hits == 1
+        assert datasets2 == datasets
+        assert dataset_digest(datasets2) == dataset_digest(datasets)
+        assert campaign2.observations == campaign.observations
+        assert campaign2.discovered == campaign.discovered
+        assert campaign2.response_matrix() == campaign.response_matrix()
+        assert campaign2.repeat_response_rate() == \
+            campaign.repeat_response_rate()
+
+    def test_hit_shares_observation_objects_with_d_pc2(self, tmp_path):
+        # the serial run aliases campaign.observations into datasets.d_pc2;
+        # the pickle graph must preserve that aliasing on a hit
+        cache = StudyCache(str(tmp_path))
+        world = generate_world(seed=SEED, scale=SMOKE)
+        run_study(world, cache=cache)
+        world = generate_world(seed=SEED, scale=SMOKE)
+        _m, campaign, datasets = run_study(world, cache=cache)
+        if campaign.observations:
+            assert campaign.observations[0] is datasets.d_pc2[0]
+
+    def test_different_seed_misses(self, tmp_path):
+        cache = StudyCache(str(tmp_path))
+        run_study(generate_world(seed=SEED, scale=SMOKE), cache=cache)
+        run_study(generate_world(seed=SEED + 1, scale=SMOKE), cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_different_faults_miss(self, tmp_path):
+        cache = StudyCache(str(tmp_path))
+        run_study(generate_world(seed=SEED, scale=SMOKE), cache=cache)
+        config = PipelineConfig(faults=FAULT_PLANS["mild"])
+        run_study(generate_world(seed=SEED, scale=SMOKE), config=config,
+                  cache=cache)
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_unseeded_world_bypasses_cache(self, tmp_path):
+        cache = StudyCache(str(tmp_path))
+        world = generate_world(seed=SEED, scale=SMOKE)
+        world.seed = None
+        run_study(world, cache=cache)
+        assert cache.hits == cache.misses == 0
+        assert not os.path.exists(str(tmp_path)) or \
+            not os.listdir(str(tmp_path))
+
+    def test_cache_accepts_directory_path(self, tmp_path):
+        root = str(tmp_path / "by-path")
+        run_study(generate_world(seed=SEED, scale=SMOKE), cache=root)
+        _m, _c, cached = run_study(
+            generate_world(seed=SEED, scale=SMOKE), cache=root)
+        world = generate_world(seed=SEED, scale=SMOKE)
+        _m2, _c2, fresh = run_study(world)
+        assert cached == fresh
+
+
+class TestCorruptEntries:
+    """Any damaged entry must read as a miss — never crash, never serve
+    bad data."""
+
+    def _populate(self, tmp_path):
+        cache = StudyCache(str(tmp_path))
+        world = generate_world(seed=SEED, scale=SMOKE)
+        _m, _c, datasets = run_study(world, cache=cache)
+        fingerprint = study_fingerprint(SEED, SMOKE)
+        return cache, fingerprint, datasets
+
+    def _recompute_equals_fresh(self, cache, datasets):
+        world = generate_world(seed=SEED, scale=SMOKE)
+        _m, _c, recomputed = run_study(world, cache=cache)
+        assert recomputed == datasets
+
+    def test_truncated_entry_recomputes(self, tmp_path):
+        cache, fingerprint, datasets = self._populate(tmp_path)
+        path = cache.path_for(fingerprint)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        assert cache.get(fingerprint) is None
+        assert cache.rejected == 1
+        self._recompute_equals_fresh(cache, datasets)
+
+    def test_flipped_payload_byte_recomputes(self, tmp_path):
+        cache, fingerprint, datasets = self._populate(tmp_path)
+        path = cache.path_for(fingerprint)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        assert cache.get(fingerprint) is None
+        self._recompute_equals_fresh(cache, datasets)
+
+    def test_garbage_file_recomputes(self, tmp_path):
+        cache, fingerprint, datasets = self._populate(tmp_path)
+        with open(cache.path_for(fingerprint), "wb") as fh:
+            fh.write(b"not a cache entry at all")
+        assert cache.get(fingerprint) is None
+        self._recompute_equals_fresh(cache, datasets)
+
+    def test_empty_file_recomputes(self, tmp_path):
+        cache, fingerprint, _datasets = self._populate(tmp_path)
+        open(cache.path_for(fingerprint), "wb").close()
+        assert cache.get(fingerprint) is None
+
+    def test_wrong_format_version_recomputes(self, tmp_path):
+        cache, fingerprint, _datasets = self._populate(tmp_path)
+        path = cache.path_for(fingerprint)
+        blob = bytearray(open(path, "rb").read())
+        blob[4] = 0xFE  # the format-version byte
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        assert cache.get(fingerprint) is None
+
+    def test_checksummed_pickle_of_wrong_type_rejected(self, tmp_path):
+        # a well-formed entry whose payload is not a CachedStudy must
+        # also be refused (defends against fingerprint collisions with
+        # foreign writers)
+        cache = StudyCache(str(tmp_path))
+        import hashlib
+
+        payload = pickle.dumps({"not": "a study"})
+        blob = (b"RPSC" + bytes([1])
+                + hashlib.sha256(payload).digest() + payload)
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(cache.path_for("f" * 64), "wb") as fh:
+            fh.write(blob)
+        assert cache.get("f" * 64) is None
+
+    def test_rewrite_after_corruption_serves_again(self, tmp_path):
+        cache, fingerprint, datasets = self._populate(tmp_path)
+        with open(cache.path_for(fingerprint), "wb") as fh:
+            fh.write(b"garbage")
+        # the recompute pass re-stores the entry...
+        self._recompute_equals_fresh(cache, datasets)
+        # ...so the next lookup hits
+        entry = cache.get(fingerprint)
+        assert entry is not None
+        assert entry.datasets == datasets
+
+
+class TestCachedStudyPickleStability:
+    def test_entry_is_plain_picklable(self, smoke_study):
+        _world, _malnet, campaign, datasets = smoke_study
+        entry = CachedStudy(datasets=datasets,
+                            observations=campaign.observations,
+                            discovered=campaign.discovered)
+        clone = pickle.loads(pickle.dumps(entry))
+        assert clone.datasets == datasets
+        assert clone.observations == campaign.observations
+        assert clone.discovered == campaign.discovered

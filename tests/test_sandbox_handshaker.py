@@ -88,6 +88,46 @@ class TestHandshaker:
         assert len(handshaker.captures) == 2
         assert len(handshaker.distinct_payloads()) == 1
 
+    def test_distinct_payloads_many_duplicates_first_seen_order(self):
+        # regression: the dedup used a list membership test, making this
+        # O(n^2) in the capture count — it must stay linear and preserve
+        # first-seen order over thousands of duplicate payloads
+        handshaker = Handshaker(BOT_IP, random.Random(0), fanout_threshold=1)
+        payloads = [b"alpha", b"bravo", b"charlie"]
+        for i in range(3000):
+            session = handshaker.tcp_connect(0x05000000 + i, 8080)
+            if session is not None:
+                session.send(payloads[i % len(payloads)])
+        assert len(handshaker.captures) > 2000
+        # the very first connection is not redirected yet, so first-seen
+        # order starts at i=1
+        assert handshaker.distinct_payloads() == [
+            b"bravo", b"charlie", b"alpha"]
+
+    def test_lazy_trace_materializes_identical_packets(self):
+        # the deferred trace must materialize the same packets, in the
+        # same order with the same timestamps, as eager recording would
+        handshaker = Handshaker(BOT_IP, random.Random(5), base_time=50.0)
+        exploit_bot(seed=5).scan_burst(handshaker, 150)
+        packets = list(handshaker.trace)          # materializes
+        assert len(packets) == len(handshaker.trace)
+        assert all(p.src == BOT_IP for p in packets)
+        times = [p.timestamp for p in packets]
+        assert times == [50.0 + (i + 1) * 0.005 for i in range(len(packets))]
+        # reading twice returns the same objects (no re-materialization)
+        assert list(handshaker.trace) == packets
+        # pcap round-trip survives the lazy path
+        from repro.netsim.capture import Capture
+
+        reloaded = Capture.from_pcap_bytes(handshaker.trace.to_pcap_bytes())
+        assert [
+            (p.src, p.dst, p.sport, p.dport, p.flags, p.payload)
+            for p in reloaded
+        ] == [
+            (p.src, p.dst, p.sport, p.dport, p.flags, p.payload)
+            for p in packets
+        ]
+
 
 class TestInetSim:
     def test_every_name_resolves_stably(self):
