@@ -7,7 +7,9 @@ Usage (also via ``python -m repro``)::
     python -m repro report --scale smoke --what table1 table3 fig4
     python -m repro rules  --scale smoke --tech iptables
     python -m repro pcap   --scale smoke --out /tmp/traces --limit 5
-    python -m repro stats  --scale smoke
+    python -m repro stats  --scale smoke --workers 2
+    python -m repro obs top /tmp/telemetry
+    python -m repro obs diff /tmp/runA /tmp/runB --threshold 0.2
 
 Scales: ``smoke`` (~70 samples, seconds), ``mid`` (~430), ``full`` (the
 paper's 1447 samples, ~10 s).
@@ -102,6 +104,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "stats", help="run the study with telemetry on and print the "
                       "per-stage summary")
     telemetry_flag(stats)
+    workers_flag(stats)
+    faults_flag(stats)
+
+    obs = sub.add_parser(
+        "obs", help="inspect telemetry artifact directories written by "
+                    "--telemetry (no study is run)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_top = obs_sub.add_parser(
+        "top", help="slowest pipeline stages of a finished run")
+    obs_top.add_argument("dir", help="artifact directory")
+    obs_top.add_argument("-n", type=int, default=10, metavar="N",
+                         help="stages to show (default 10)")
+    obs_diff = obs_sub.add_parser(
+        "diff", help="compare two runs; exits 1 when any counter, "
+                     "histogram, or span moves beyond the threshold")
+    obs_diff.add_argument("dir_a", help="baseline artifact directory")
+    obs_diff.add_argument("dir_b", help="candidate artifact directory")
+    obs_diff.add_argument("--threshold", type=float, default=0.25,
+                          metavar="REL",
+                          help="relative-change breach threshold "
+                               "(default 0.25)")
+    obs_diff.add_argument("--min-wall", type=float, default=0.05,
+                          metavar="SEC",
+                          help="ignore span wall deltas below this many "
+                               "seconds (default 0.05)")
+    obs_timeline = obs_sub.add_parser(
+        "timeline", help="ASCII per-track timeline of trace.json")
+    obs_timeline.add_argument("dir", help="artifact directory")
+    obs_timeline.add_argument("--width", type=int, default=64,
+                              help="bar width in characters (default 64)")
+    obs_manifest = obs_sub.add_parser(
+        "manifest", help="summarize a run's manifest.json")
+    obs_manifest.add_argument("dir", help="artifact directory")
+    obs_manifest.add_argument("--json", action="store_true",
+                              help="dump the raw manifest document")
 
     rules = sub.add_parser("rules", help="compile firewall/IDS rules")
     rules.add_argument("--tech", choices=("iptables", "dnsmasq", "snort",
@@ -245,16 +282,25 @@ def _cmd_stats(args, out) -> int:
     """Run the study with telemetry on; render the per-stage summary."""
     telemetry = create_telemetry()
     _run(args, telemetry)
+    aggregate = telemetry.tracer.aggregate()
     stage_rows = [
         [name, stat["count"],
          f"{stat['wall_seconds']:.3f}",
          f"{stat['sim_seconds'] / 3600.0:.1f}"]
         for name, stat in sorted(
-            telemetry.tracer.aggregate().items(),
+            aggregate.items(),
             key=lambda item: -item[1]["wall_seconds"])
     ]
     print(render_table(["stage", "calls", "wall s", "sim h"], stage_rows,
                        title="Pipeline stages"), file=out)
+    print(file=out)
+    top_rows = [
+        [name, f"{stat['wall_seconds']:.3f}"]
+        for name, stat in sorted(aggregate.items(),
+                                 key=lambda item: -item[1]["wall_seconds"])[:5]
+    ]
+    print(render_table(["span", "total wall s"], top_rows,
+                       title="Top spans"), file=out)
     print(file=out)
     counter_rows = []
     for family in telemetry.metrics.families():
@@ -266,8 +312,66 @@ def _cmd_stats(args, out) -> int:
             counter_rows.append([name, int(child.value)])
     print(render_table(["counter", "total"], counter_rows, title="Counters"),
           file=out)
+    histogram_rows = []
+    for family in telemetry.metrics.families():
+        if family.kind != "histogram":
+            continue
+        for labels, child in family.series():
+            label_text = ",".join(f"{k}={v}" for k, v in labels.items())
+            name = f"{family.name}{{{label_text}}}" if label_text else family.name
+            histogram_rows.append(
+                [name, child.count]
+                + [f"{child.quantile(q):g}" for q in (0.5, 0.95, 0.99)])
+    if histogram_rows:
+        print(file=out)
+        print(render_table(["histogram", "count", "p50", "p95", "p99"],
+                           histogram_rows, title="Histograms"), file=out)
     _finish_telemetry(out, telemetry, getattr(args, "telemetry", None))
     return 0
+
+
+def _cmd_obs(args, out) -> int:
+    """Dispatch the ``obs`` analysis group over an artifact directory."""
+    from .obs import analysis
+    from .obs.manifest import read_manifest
+
+    try:
+        if args.obs_command == "top":
+            rows = [
+                [name, stat["count"], f"{stat['wall_seconds']:.3f}",
+                 f"{stat['sim_seconds'] / 3600.0:.1f}"]
+                for name, stat in analysis.top_spans(
+                    analysis.load_snapshot(args.dir), args.n)
+            ]
+            print(render_table(["stage", "calls", "wall s", "sim h"], rows,
+                               title=f"Top {args.n} stages"), file=out)
+            return 0
+        if args.obs_command == "diff":
+            lines, breaches = analysis.diff_runs(
+                args.dir_a, args.dir_b, threshold=args.threshold,
+                min_wall=args.min_wall)
+            for line in lines:
+                print(line, file=out)
+            print(f"# {breaches} breach(es) beyond "
+                  f"threshold {args.threshold:g}", file=out)
+            return 1 if breaches else 0
+        if args.obs_command == "timeline":
+            for line in analysis.timeline(analysis.load_trace(args.dir),
+                                          width=args.width):
+                print(line, file=out)
+            return 0
+        # manifest
+        manifest = read_manifest(args.dir)
+        if args.json:
+            import json
+
+            print(json.dumps(manifest, indent=2, default=str), file=out)
+        else:
+            for line in analysis.describe_manifest(manifest):
+                print(line, file=out)
+        return 0
+    except OSError as exc:
+        raise SystemExit(f"repro obs: {exc}")
 
 
 def _cmd_rules(args, out) -> int:
@@ -327,6 +431,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "stats": _cmd_stats,
         "rules": _cmd_rules,
         "pcap": _cmd_pcap,
+        "obs": _cmd_obs,
     }
     return commands[args.command](args, out)
 

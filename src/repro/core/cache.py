@@ -151,6 +151,23 @@ class StudyCache:
         self.hits = 0
         self.misses = 0
         self.rejected = 0
+        self._lookups = None
+
+    def bind_metrics(self, metrics) -> None:
+        """Mirror lookups into ``study_cache_lookups_total{result=...}``.
+
+        One increment per :meth:`get` — ``result`` is ``hit``, ``miss``,
+        or ``rejected`` (an entry that existed but failed verification).
+        The plain integer attributes keep counting either way.
+        """
+        self._lookups = metrics.counter(
+            "study_cache_lookups_total",
+            "study cache lookups by result (hit/miss/rejected)",
+            labelnames=("result",))
+
+    def _count(self, result: str) -> None:
+        if self._lookups is not None:
+            self._lookups.labels(result=result).inc()
 
     def path_for(self, fingerprint: str) -> str:
         return os.path.join(self.root, f"{fingerprint}.study")
@@ -162,13 +179,16 @@ class StudyCache:
                 blob = fh.read()
         except OSError:
             self.misses += 1
+            self._count("miss")
             return None
         entry = self._verify(blob)
         if entry is None:
             self.rejected += 1
             self.misses += 1
+            self._count("rejected")
             return None
         self.hits += 1
+        self._count("hit")
         return entry
 
     @staticmethod

@@ -50,7 +50,9 @@ import multiprocessing
 import os
 import time
 
-from ..obs import MetricsRegistry, NullEventLog, NullTracer, Telemetry
+from ..obs import EventLog, MetricsRegistry, NullEventLog, NullTracer, \
+    Telemetry, Tracer
+from ..obs.merge import fold_counters  # re-export: the merge logic moved
 from ..world.generator import World
 from .datasets import Datasets
 from .pipeline import MalNet, PipelineConfig
@@ -68,11 +70,23 @@ _CRASH_EXIT_CODE = 170
 
 @dataclasses.dataclass
 class ShardResult:
-    """One worker's output: its shard's datasets plus metric totals."""
+    """One worker's output: its shard's datasets plus telemetry snapshots.
+
+    ``counters`` is the worker's full metrics snapshot (counters *and*
+    histograms — the name predates the histogram merge); ``spans`` and
+    ``events`` are portable tracer/event-log snapshots, populated only
+    when the parent ran with telemetry enabled.  ``wall_seconds`` is the
+    worker-measured wall time of the whole shard task and ``attempt`` the
+    dispatch wave that produced this result (0 = first try).
+    """
 
     shard_index: int
     datasets: Datasets
     counters: dict
+    spans: dict | None = None
+    events: dict | None = None
+    wall_seconds: float = 0.0
+    attempt: int = 0
 
 
 def _run_shard(task) -> ShardResult:
@@ -80,11 +94,14 @@ def _run_shard(task) -> ShardResult:
 
     Runs in a child process.  Uses the fork-inherited world snapshot when
     there is one and this is the first attempt, otherwise regenerates the
-    world from ``(seed, scale)``.  The worker keeps metrics (counter
-    totals survive the merge) but drops tracing and events — those stay
-    per-process.
+    world from ``(seed, scale)``.  The worker always keeps metrics
+    (counter/histogram totals survive the merge); with ``telemetry_on``
+    it also runs a real tracer and event log whose snapshots the parent
+    re-roots under a ``shard[i]`` span (see :mod:`repro.obs.merge`) —
+    parallel runs lose no spans or events.
     """
-    seed, scale, config, attempt = task
+    seed, scale, config, attempt, telemetry_on = task
+    started = time.perf_counter()
     plan = config.faults
     if plan is not None and plan.enabled:
         from ..netsim.faults import FaultInjector
@@ -101,34 +118,23 @@ def _run_shard(task) -> ShardResult:
         from ..world import generate_world
 
         world = generate_world(seed=seed, scale=scale)
-    telemetry = Telemetry(metrics=MetricsRegistry(), tracer=NullTracer(),
-                          events=NullEventLog())
+    if telemetry_on:
+        telemetry = Telemetry(metrics=MetricsRegistry(), tracer=Tracer(),
+                              events=EventLog())
+    else:
+        telemetry = Telemetry(metrics=MetricsRegistry(), tracer=NullTracer(),
+                              events=NullEventLog())
     malnet = MalNet(world, config, telemetry=telemetry)
     malnet.run()
     return ShardResult(
         shard_index=config.shard_index,
         datasets=malnet.datasets,
         counters=telemetry.metrics.snapshot(),
+        spans=telemetry.tracer.snapshot() if telemetry_on else None,
+        events=telemetry.events.snapshot() if telemetry_on else None,
+        wall_seconds=time.perf_counter() - started,
+        attempt=attempt,
     )
-
-
-def fold_counters(metrics, snapshot: dict, exclude: tuple = ()) -> None:
-    """Add a worker's counter totals into a parent registry.
-
-    Only counters are summable across processes; gauges and histograms
-    from worker snapshots are dropped (the parent's own instruments keep
-    covering those).  ``exclude`` names counters whose per-shard values
-    must not be summed — creation counters for records deduplicated
-    *across* shards, which the merge re-counts from the merged result.
-    """
-    for name, family in snapshot.items():
-        if family["type"] != "counter" or name in exclude:
-            continue
-        dest = metrics.counter(name, family["help"],
-                               tuple(family["labelnames"]))
-        for series in family["series"]:
-            if series["value"]:
-                dest.labels(**series["labels"]).inc(series["value"])
 
 
 class ShardedStudyRunner:
@@ -151,7 +157,8 @@ class ShardedStudyRunner:
     def __init__(self, world: World, workers: int,
                  config: PipelineConfig | None = None,
                  shard_timeout: float | None = 600.0,
-                 max_redispatch: int = 2):
+                 max_redispatch: int = 2,
+                 telemetry_enabled: bool = False):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if world.seed is None:
@@ -161,6 +168,9 @@ class ShardedStudyRunner:
         self.world = world
         self.workers = workers
         self.config = config or PipelineConfig()
+        #: when True, workers run real tracer/event-log instruments and
+        #: ship their snapshots back for the cross-shard merge
+        self.telemetry_enabled = telemetry_enabled
         #: wall-clock seconds to wait for each shard in :meth:`join`
         #: before declaring its worker lost (``None``: wait forever)
         self.shard_timeout = shard_timeout
@@ -186,7 +196,8 @@ class ShardedStudyRunner:
             index: pool.apply_async(
                 _run_shard,
                 ((self.world.seed, self.world.scale,
-                  self._shard_config(index), attempt),))
+                  self._shard_config(index), attempt,
+                  self.telemetry_enabled),))
             for index in indexes
         }
 

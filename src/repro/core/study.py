@@ -8,16 +8,19 @@ for the same ``(seed, scale)``.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import random
+import time
 
 from ..determinism import stable_seed
-from ..obs import NULL_TELEMETRY, Telemetry
+from ..obs import NULL_TELEMETRY, Telemetry, build_manifest
+from ..obs.merge import merge_shard_telemetry
 from ..sandbox.qemu import MipsEmulator
 from ..world.generator import World
-from .cache import CachedStudy, StudyCache, study_fingerprint
+from .cache import CachedStudy, StudyCache, code_fingerprint, study_fingerprint
 from .datasets import Datasets
-from .parallel import ShardedStudyRunner, fold_counters
+from .parallel import ShardedStudyRunner
 from .pipeline import MalNet, PipelineConfig
 from .probing import ProbingCampaign
 
@@ -82,7 +85,7 @@ def run_probing(world: World, malnet: MalNet,
 def _run_parallel(
     world: World, malnet: MalNet, workers: int, telemetry: Telemetry,
     shard_timeout: float | None = 600.0, max_redispatch: int = 2,
-) -> ProbingCampaign:
+) -> tuple[ProbingCampaign, dict]:
     """Sharded pipeline in a worker pool, probing overlapped in the parent.
 
     The campaign only reads world state the pipeline never writes (host
@@ -90,11 +93,16 @@ def _run_parallel(
     all slot-indexed), and reseeds the internet RNG per slot — so the
     parent can run it concurrently with the pool and still produce the
     same observations as the serial ordering.
+
+    Returns the campaign plus a run-info dict (per-shard timings,
+    re-dispatch and failure accounting) consumed by the manifest.
     """
     runner = ShardedStudyRunner(world, workers, config=malnet.config,
                                 shard_timeout=shard_timeout,
-                                max_redispatch=max_redispatch)
-    with telemetry.tracer.span("study.pipeline", workers=workers):
+                                max_redispatch=max_redispatch,
+                                telemetry_enabled=telemetry.enabled)
+    with telemetry.tracer.span("study.pipeline", workers=workers) \
+            as pipeline_span:
         runner.start()
         with telemetry.tracer.span("study.probing"):
             campaign = run_probing(world, malnet, telemetry)
@@ -122,16 +130,90 @@ def _run_parallel(
                       for k in runner.failed_shards})
     malnet.datasets = merged
     # c2/ddos records are deduplicated across shards, so their creation
-    # counters cannot be summed — count the merged records instead, which
-    # is exactly what the serial run would have counted
+    # counters cannot be summed — the merge excludes them and re-counts
+    # the merged records instead, which is exactly what the serial run
+    # would have counted.  World-global series (feed pulls precede the
+    # shard filter) are taken from the first reporting shard only.
     deduplicated = ("c2_records", "ddos_records")
-    for shard in shards:
-        fold_counters(telemetry.metrics, shard.counters,
-                      exclude=deduplicated)
+    for position, shard in enumerate(shards):
+        merge_shard_telemetry(
+            telemetry, shard.shard_index,
+            metrics_snapshot=shard.counters,
+            trace_snapshot=shard.spans,
+            events_snapshot=shard.events,
+            parent_span=pipeline_span if telemetry.tracer.enabled else None,
+            wall_seconds=shard.wall_seconds,
+            attempt=shard.attempt,
+            exclude_counters=deduplicated,
+            world_global=(position == 0),
+        )
     metrics = telemetry.metrics
     metrics.counter("c2_records").inc(len(merged.d_c2s))
     metrics.counter("ddos_records").inc(len(merged.d_ddos))
-    return campaign
+    run_info = {
+        "shards": [
+            {"shard": shard.shard_index, "attempt": shard.attempt,
+             "wall_seconds": round(shard.wall_seconds, 6),
+             "sizes": dict(shard.datasets.summary())}
+            for shard in shards
+        ],
+        "redispatches": runner.redispatches,
+        "failed_shards": list(runner.failed_shards),
+        "failures": {str(k): runner.failures[k]
+                     for k in runner.failed_shards},
+    }
+    return campaign, run_info
+
+
+def _build_run_manifest(
+    world: World, config: PipelineConfig | None, telemetry: Telemetry,
+    datasets: Datasets, *, workers: int | None, cache: StudyCache | None,
+    fingerprint: str | None, cached: bool, started: float,
+    wall_seconds: float, run_info: dict | None,
+) -> dict:
+    """Assemble the flight-recorder manifest for one finished run."""
+    effective = config or PipelineConfig()
+    plan = effective.faults
+    if fingerprint is None and world.seed is not None:
+        fingerprint = study_fingerprint(world.seed, world.scale, config)
+    study = {
+        "seed": world.seed,
+        "scale": dataclasses.asdict(world.scale),
+        "workers": workers or 0,
+        "faults": dataclasses.asdict(plan) if plan is not None else None,
+        "config": dataclasses.asdict(effective),
+        "code_fingerprint": code_fingerprint(),
+        "study_fingerprint": fingerprint,
+    }
+    info = run_info or {}
+    run = {
+        "started": started,
+        "finished": time.time(),
+        "wall_seconds": round(wall_seconds, 6),
+        "cached": cached,
+        "redispatches": info.get("redispatches", 0),
+    }
+    phases = {name: stats
+              for name, stats in telemetry.tracer.aggregate().items()
+              if name.startswith("study.")}
+    cache_info: dict = {"enabled": cache is not None}
+    if cache is not None:
+        cache_info.update(hit=cached, hits=cache.hits, misses=cache.misses,
+                          rejected=cache.rejected)
+    quarantined = [
+        {"sha256": p.sha256, "day": p.day, "reason": p.quarantine_reason}
+        for p in datasets.profiles if p.quarantined
+    ]
+    return build_manifest(
+        study=study, run=run, phases=phases, cache=cache_info,
+        shards=info.get("shards"),
+        quarantined=quarantined,
+        failed_shards=info.get("failed_shards",
+                               list(datasets.failed_shards)),
+        datasets=dict(datasets.summary()),
+        extra=({"failures": info["failures"]}
+               if info.get("failures") else None),
+    )
 
 
 def _restore_study(
@@ -185,8 +267,12 @@ def run_study(
     """
     telemetry = telemetry or NULL_TELEMETRY
     workers = resolve_workers(workers)
+    started = time.time()
+    started_clock = time.perf_counter()
     if isinstance(cache, (str, os.PathLike)):
         cache = StudyCache(cache)
+    if cache is not None:
+        cache.bind_metrics(telemetry.metrics)
     fingerprint = None
     if cache is not None and world.seed is not None:
         fingerprint = study_fingerprint(world.seed, world.scale, config)
@@ -194,16 +280,24 @@ def run_study(
         if entry is not None:
             telemetry.events.emit("study.cache_hit", fingerprint=fingerprint)
             result = _restore_study(world, config, telemetry, entry)
+            if telemetry.enabled:
+                telemetry.manifest = _build_run_manifest(
+                    world, config, telemetry, result[2], workers=workers,
+                    cache=cache, fingerprint=fingerprint, cached=True,
+                    started=started,
+                    wall_seconds=time.perf_counter() - started_clock,
+                    run_info=None)
             telemetry.events.emit(
                 "study.complete", sizes=dict(result[2].summary()))
             return result
     malnet = MalNet(world, config, telemetry=telemetry)
     telemetry.events.emit("study.start", scale=world.scale.sample_fraction,
                           workers=workers or 0)
+    run_info = None
     if workers:
-        campaign = _run_parallel(world, malnet, workers, telemetry,
-                                 shard_timeout=shard_timeout,
-                                 max_redispatch=max_redispatch)
+        campaign, run_info = _run_parallel(world, malnet, workers, telemetry,
+                                           shard_timeout=shard_timeout,
+                                           max_redispatch=max_redispatch)
     else:
         with telemetry.tracer.span("study.pipeline"):
             malnet.run()
@@ -216,6 +310,13 @@ def run_study(
             discovered=campaign.discovered,
         ))
         telemetry.events.emit("study.cache_store", fingerprint=fingerprint)
+    if telemetry.enabled:
+        telemetry.manifest = _build_run_manifest(
+            world, config, telemetry, malnet.datasets, workers=workers,
+            cache=cache, fingerprint=fingerprint, cached=False,
+            started=started,
+            wall_seconds=time.perf_counter() - started_clock,
+            run_info=run_info)
     telemetry.events.emit("study.complete",
                           sizes=dict(malnet.datasets.summary()))
     return malnet, campaign, malnet.datasets

@@ -15,8 +15,27 @@ argument defaulting to :data:`NULL_TELEMETRY`, whose operations are
 no-ops.  See :func:`create_telemetry` to switch it on.
 """
 
+from .analysis import (
+    counter_series,
+    describe_manifest,
+    diff_runs,
+    histogram_quantiles,
+    histogram_series,
+    load_snapshot,
+    load_trace,
+    timeline,
+    top_spans,
+)
 from .events import LEVELS, EventLog, NullEventLog
-from .exporters import escape_label_value, to_prometheus
+from .exporters import escape_help, escape_label_value, to_prometheus
+from .manifest import build_manifest, read_manifest, write_manifest
+from .merge import (
+    fold_counters,
+    fold_histograms,
+    fold_metrics,
+    graft_span_tree,
+    merge_shard_telemetry,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     LATENCY_BUCKETS,
@@ -28,8 +47,10 @@ from .metrics import (
     MetricFamily,
     MetricsRegistry,
     NullRegistry,
+    quantile_from_cumulative,
 )
 from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry, create_telemetry
+from .trace_export import chrome_trace, to_trace_events, write_chrome_trace
 from .tracing import NullTracer, Span, Tracer
 
 __all__ = [
@@ -52,7 +73,29 @@ __all__ = [
     "Span",
     "Telemetry",
     "Tracer",
+    "build_manifest",
+    "chrome_trace",
+    "counter_series",
     "create_telemetry",
+    "describe_manifest",
+    "diff_runs",
+    "escape_help",
     "escape_label_value",
+    "fold_counters",
+    "fold_histograms",
+    "fold_metrics",
+    "graft_span_tree",
+    "histogram_quantiles",
+    "histogram_series",
+    "load_snapshot",
+    "load_trace",
+    "merge_shard_telemetry",
+    "quantile_from_cumulative",
+    "read_manifest",
+    "timeline",
     "to_prometheus",
+    "to_trace_events",
+    "top_spans",
+    "write_chrome_trace",
+    "write_manifest",
 ]

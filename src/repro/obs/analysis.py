@@ -1,0 +1,253 @@
+"""Artifact-directory analysis: the data layer behind ``repro obs``.
+
+A ``--telemetry PATH`` run leaves a self-describing artifact directory
+(``snapshot.json``, ``events.jsonl``, ``metrics.prom``, ``trace.json``,
+``manifest.json``).  This module reads those files back and answers the
+operator questions the CLI group exposes: what was slow (``top``), what
+changed between two runs (``diff``), what did the run's timeline look
+like (``timeline``), and what run was this (``manifest``).
+
+Everything here works on the persisted JSON documents, never on live
+telemetry objects — the CLI can interrogate a run that finished last
+week on another machine.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+from .metrics import quantile_from_cumulative
+
+__all__ = [
+    "load_snapshot",
+    "load_trace",
+    "counter_series",
+    "histogram_series",
+    "histogram_quantiles",
+    "top_spans",
+    "diff_runs",
+    "timeline",
+    "describe_manifest",
+]
+
+
+def _load_json(directory: str, name: str) -> dict:
+    path = os.path.join(directory, name) if os.path.isdir(directory) \
+        else directory
+    with open(path, "r", encoding="utf-8") as source:
+        return json.load(source)
+
+
+def load_snapshot(directory: str) -> dict:
+    """The ``snapshot.json`` document of one artifact directory."""
+    return _load_json(directory, "snapshot.json")
+
+
+def load_trace(directory: str) -> dict:
+    """The ``trace.json`` document of one artifact directory."""
+    return _load_json(directory, "trace.json")
+
+
+def _series_name(family: str, labels: dict) -> str:
+    if not labels:
+        return family
+    body = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{family}{{{body}}}"
+
+
+def counter_series(snapshot: dict) -> dict[str, float]:
+    """Flat ``name{label=value}`` -> total for every counter series."""
+    out: dict[str, float] = {}
+    for name, family in snapshot.get("metrics", {}).items():
+        if family["type"] != "counter":
+            continue
+        for series in family["series"]:
+            out[_series_name(name, series["labels"])] = series["value"]
+    return out
+
+
+def histogram_series(snapshot: dict) -> dict[str, dict]:
+    """Flat series name -> ``{buckets, sum, count}`` for every histogram."""
+    out: dict[str, dict] = {}
+    for name, family in snapshot.get("metrics", {}).items():
+        if family["type"] != "histogram":
+            continue
+        for series in family["series"]:
+            out[_series_name(name, series["labels"])] = series["value"]
+    return out
+
+
+def histogram_quantiles(value: dict, quantiles=(0.5, 0.95, 0.99)) -> dict:
+    """``{q: bound}`` for one snapshot histogram value (bucket map form)."""
+    uppers = [float(u) for u in value["buckets"] if u != "+Inf"]
+    cumulative = list(value["buckets"].values())
+    return {q: quantile_from_cumulative(uppers, cumulative, q)
+            for q in quantiles}
+
+
+def top_spans(snapshot: dict, n: int = 10) -> list[tuple[str, dict]]:
+    """The ``n`` stages with the largest total wall time, descending."""
+    spans = snapshot.get("spans", {})
+    ranked = sorted(spans.items(), key=lambda item: -item[1]["wall_seconds"])
+    return ranked[:n]
+
+
+# -- run-to-run diff ----------------------------------------------------------
+
+
+def _relative(before: float, after: float) -> float:
+    """Relative change; +/-inf when a series (dis)appears."""
+    if before == after:
+        return 0.0
+    if before == 0:
+        return math.inf if after > 0 else -math.inf
+    return (after - before) / abs(before)
+
+
+def _percent(rel: float) -> str:
+    if math.isinf(rel):
+        return "new" if rel > 0 else "gone"
+    return f"{rel:+.1%}"
+
+
+def diff_runs(dir_a: str, dir_b: str, threshold: float = 0.25,
+              min_wall: float = 0.05) -> tuple[list[str], int]:
+    """Compare two artifact directories; returns (report lines, breaches).
+
+    Counters and histogram count/sum breach when their relative change
+    exceeds ``threshold`` in either direction; span wall times breach
+    only on regression (B slower than A) and only for stages whose wall
+    time reaches ``min_wall`` seconds in at least one run — wall clocks
+    are noisy, counts are not.
+    """
+    a, b = load_snapshot(dir_a), load_snapshot(dir_b)
+    lines: list[str] = []
+    breaches = 0
+
+    counters_a, counters_b = counter_series(a), counter_series(b)
+    for name in sorted(set(counters_a) | set(counters_b)):
+        before = counters_a.get(name, 0.0)
+        after = counters_b.get(name, 0.0)
+        rel = _relative(before, after)
+        if abs(rel) > threshold:
+            breaches += 1
+            lines.append(f"counter   {name}: {before:g} -> {after:g} "
+                         f"({_percent(rel)}) BREACH")
+        elif rel:
+            lines.append(f"counter   {name}: {before:g} -> {after:g} "
+                         f"({_percent(rel)})")
+
+    hists_a, hists_b = histogram_series(a), histogram_series(b)
+    for name in sorted(set(hists_a) | set(hists_b)):
+        empty = {"buckets": {}, "sum": 0.0, "count": 0}
+        before, after = hists_a.get(name, empty), hists_b.get(name, empty)
+        for field in ("count", "sum"):
+            rel = _relative(before[field], after[field])
+            if abs(rel) > threshold:
+                breaches += 1
+                lines.append(
+                    f"histogram {name}.{field}: {before[field]:g} -> "
+                    f"{after[field]:g} ({_percent(rel)}) BREACH")
+            elif rel:
+                lines.append(
+                    f"histogram {name}.{field}: {before[field]:g} -> "
+                    f"{after[field]:g} ({_percent(rel)})")
+
+    spans_a = a.get("spans", {})
+    spans_b = b.get("spans", {})
+    for name in sorted(set(spans_a) | set(spans_b)):
+        before = spans_a.get(name, {}).get("wall_seconds", 0.0)
+        after = spans_b.get(name, {}).get("wall_seconds", 0.0)
+        if max(before, after) < min_wall:
+            continue
+        rel = _relative(before, after)
+        if rel > threshold:
+            breaches += 1
+            lines.append(f"span      {name}: {before:.3f}s -> {after:.3f}s "
+                         f"({_percent(rel)}) BREACH")
+        elif abs(rel) > threshold:
+            lines.append(f"span      {name}: {before:.3f}s -> {after:.3f}s "
+                         f"({_percent(rel)})")
+    return lines, breaches
+
+
+# -- ASCII timeline -----------------------------------------------------------
+
+
+def timeline(trace: dict, width: int = 64) -> list[str]:
+    """Render ``trace.json`` as one ASCII bar per track.
+
+    Each track (main + one per shard) gets a bar spanning its active
+    window within the run, plus its span count — a quick answer to "did
+    the shards actually overlap, and with what skew?".
+    """
+    events = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+    labels = {e["tid"]: e["args"]["name"]
+              for e in trace.get("traceEvents", []) if e.get("ph") == "M"}
+    if not events:
+        return ["(empty trace)"]
+    total = max(e["ts"] + e["dur"] for e in events) or 1
+    lines = [f"total {total / 1e3:.1f} ms, {len(events)} spans"]
+    tracks: dict[int, list[dict]] = {}
+    for event in events:
+        tracks.setdefault(event["tid"], []).append(event)
+    name_width = max(len(labels.get(tid, str(tid))) for tid in tracks)
+    for tid in sorted(tracks):
+        begin = min(e["ts"] for e in tracks[tid])
+        end = max(e["ts"] + e["dur"] for e in tracks[tid])
+        lo = min(width - 1, int(width * begin / total))
+        hi = max(lo + 1, int(width * end / total + 0.5))
+        bar = "." * lo + "#" * (hi - lo) + "." * (width - hi)
+        label = labels.get(tid, str(tid)).ljust(name_width)
+        lines.append(f"{label} |{bar}| {begin / 1e3:8.1f}-{end / 1e3:8.1f} ms"
+                     f"  {len(tracks[tid])} spans")
+    return lines
+
+
+# -- manifest summary ---------------------------------------------------------
+
+
+def describe_manifest(manifest: dict) -> list[str]:
+    """A human summary of a run manifest (see :mod:`repro.obs.manifest`)."""
+    study = manifest.get("study", {})
+    run = manifest.get("run", {})
+    cache = manifest.get("cache", {})
+    lines = [
+        f"seed {study.get('seed')}  workers {study.get('workers', 0)}  "
+        f"sample_fraction {study.get('scale', {}).get('sample_fraction')}",
+        f"wall {run.get('wall_seconds', 0.0):.3f}s  "
+        f"cached {run.get('cached', False)}  "
+        f"redispatches {run.get('redispatches', 0)}",
+        f"code {str(study.get('code_fingerprint', ''))[:12]}  "
+        f"study {str(study.get('study_fingerprint', ''))[:12]}",
+    ]
+    if study.get("faults"):
+        lines.append(f"faults: {study['faults']}")
+    if cache.get("enabled"):
+        lines.append(f"cache: hit={cache.get('hit')} hits={cache.get('hits')}"
+                     f" misses={cache.get('misses')}"
+                     f" rejected={cache.get('rejected')}")
+    for name, stat in manifest.get("phases", {}).items():
+        lines.append(f"phase {name}: {stat['wall_seconds']:.3f}s wall, "
+                     f"{stat['sim_seconds'] / 3600.0:.1f}h sim")
+    for shard in manifest.get("shards", []):
+        lines.append(f"shard[{shard['shard']}] attempt {shard['attempt']}: "
+                     f"{shard['wall_seconds']:.3f}s, "
+                     f"{shard.get('sizes', {}).get('D-Samples', '?')} samples")
+    quarantined = manifest.get("quarantined", [])
+    if quarantined:
+        lines.append(f"quarantined: {len(quarantined)}")
+        for record in quarantined[:5]:
+            lines.append(f"  {record['sha256'][:12]} day {record['day']}: "
+                         f"{record['reason']}")
+        if len(quarantined) > 5:
+            lines.append(f"  ... and {len(quarantined) - 5} more")
+    if manifest.get("failed_shards"):
+        lines.append(f"FAILED shards: {manifest['failed_shards']}")
+    sizes = manifest.get("datasets", {})
+    if sizes:
+        lines.append("datasets: " + "  ".join(f"{k}={v}"
+                                              for k, v in sizes.items()))
+    return lines

@@ -66,6 +66,35 @@ class EventLog:
                 sink.write(json.dumps(record, default=str) + "\n")
         return len(self.events)
 
+    # -- snapshot / restore (cross-process merge) ----------------------------
+
+    def snapshot(self) -> dict:
+        """Portable view of the log: copied records + overflow count."""
+        return {"events": [dict(record) for record in self.events],
+                "dropped": self.dropped}
+
+    def absorb(self, snapshot: dict, **extra) -> int:
+        """Append another log's snapshot, tagging each record with ``extra``
+        plus its position (``seq``) in the source stream.
+
+        Records keep their source order; the ``(shard, seq)`` pair the
+        caller supplies/derives makes the merged stream deterministically
+        sortable.  Overflow is accounted the same way as live emits.
+        Returns the number of records absorbed.
+        """
+        absorbed = 0
+        for seq, record in enumerate(snapshot.get("events", ())):
+            if len(self.events) >= self.max_events:
+                self.dropped += 1
+                continue
+            merged = dict(record)
+            merged.update(extra)
+            merged.setdefault("seq", seq)
+            self.events.append(merged)
+            absorbed += 1
+        self.dropped += snapshot.get("dropped", 0)
+        return absorbed
+
 
 class NullEventLog(EventLog):
     """Disabled log: emit is a no-op, nothing is buffered."""
@@ -77,3 +106,6 @@ class NullEventLog(EventLog):
 
     def emit(self, event: str, level: str = "info", **fields) -> None:
         pass
+
+    def absorb(self, snapshot: dict, **extra) -> int:
+        return 0

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from .metrics import Histogram, MetricsRegistry
 
-__all__ = ["escape_label_value", "to_prometheus", "snapshot"]
+__all__ = ["escape_help", "escape_label_value", "to_prometheus", "snapshot"]
 
 
 def escape_label_value(value: str) -> str:
@@ -20,6 +20,13 @@ def escape_label_value(value: str) -> str:
     return (value.replace("\\", r"\\")
                  .replace("\n", r"\n")
                  .replace('"', r'\"'))
+
+
+def escape_help(text: str) -> str:
+    """Escape HELP text per the exposition format: backslash FIRST, then
+    newline — the reverse order would corrupt a literal ``\\n`` in the help
+    string into an escaped newline."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _format_value(value: float) -> str:
@@ -43,8 +50,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for family in registry.families():
         if family.help:
-            lines.append(f"# HELP {family.name} "
-                         f"{family.help.replace(chr(10), ' ')}")
+            lines.append(f"# HELP {family.name} {escape_help(family.help)}")
         lines.append(f"# TYPE {family.name} {family.kind}")
         for labels, child in family.series():
             if isinstance(child, Histogram):

@@ -29,6 +29,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "NULL_METRIC",
+    "quantile_from_cumulative",
 ]
 
 #: Prometheus' classic duration buckets (seconds).
@@ -43,6 +44,30 @@ LATENCY_BUCKETS: tuple[float, ...] = (
 )
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def quantile_from_cumulative(uppers: list[float], cumulative: list[int],
+                             q: float) -> float:
+    """The q-quantile of a cumulative bucket series (Prometheus semantics).
+
+    ``uppers`` are the finite bucket bounds, ``cumulative`` the running
+    counts with the final +Inf total appended.  Answers the upper bound of
+    the bucket containing the target rank; observations beyond the last
+    finite bucket answer that last finite bound (``histogram_quantile``'s
+    convention), and an empty series answers ``nan``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricError(f"quantile must be in [0, 1], got {q}")
+    total = cumulative[-1] if cumulative else 0
+    if total <= 0:
+        return float("nan")
+    rank = q * total
+    for index, running in enumerate(cumulative):
+        if running >= rank:
+            if index < len(uppers):
+                return uppers[index]
+            return uppers[-1] if uppers else float("inf")
+    return uppers[-1] if uppers else float("inf")
 
 
 class MetricError(ValueError):
@@ -120,6 +145,10 @@ class Histogram:
             running += n
             out.append(running)
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (Prometheus-style, upper bucket bound)."""
+        return quantile_from_cumulative(list(self.buckets), self.cumulative(), q)
 
     def snapshot(self) -> dict:
         upper = [str(b) for b in self.buckets] + ["+Inf"]

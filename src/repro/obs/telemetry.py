@@ -20,14 +20,21 @@ from typing import Callable
 
 from .events import EventLog, NullEventLog
 from .exporters import snapshot as _snapshot, to_prometheus
+from .manifest import write_manifest
 from .metrics import MetricsRegistry, NullRegistry
+from .trace_export import write_chrome_trace
 from .tracing import NullTracer, Tracer
 
 __all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY", "create_telemetry"]
 
 
 class Telemetry:
-    """Live telemetry: a registry, a tracer, and an event log."""
+    """Live telemetry: a registry, a tracer, and an event log.
+
+    ``manifest`` (a plain dict, see :mod:`repro.obs.manifest`) is attached
+    by the study runner; when present, :meth:`write` persists it next to
+    the snapshot so every artifact directory is self-describing.
+    """
 
     enabled = True
 
@@ -37,6 +44,7 @@ class Telemetry:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.events = events if events is not None else EventLog()
+        self.manifest: dict | None = None
 
     def bind_sim_clock(self, clock: Callable[[], float]) -> None:
         """Attach the simulation clock so spans/events carry sim time."""
@@ -47,12 +55,14 @@ class Telemetry:
         return _snapshot(self)
 
     def write(self, directory: str) -> dict[str, str]:
-        """Persist snapshot + events + Prometheus text under ``directory``."""
+        """Persist the artifact directory: snapshot + events + Prometheus
+        text + Chrome trace, plus the run manifest when one is attached."""
         os.makedirs(directory, exist_ok=True)
         paths = {
             "snapshot": os.path.join(directory, "snapshot.json"),
             "events": os.path.join(directory, "events.jsonl"),
             "prometheus": os.path.join(directory, "metrics.prom"),
+            "trace": os.path.join(directory, "trace.json"),
         }
         with open(paths["snapshot"], "w", encoding="utf-8") as sink:
             json.dump(self.snapshot(), sink, indent=2, default=str)
@@ -60,6 +70,9 @@ class Telemetry:
         self.events.write_jsonl(paths["events"])
         with open(paths["prometheus"], "w", encoding="utf-8") as sink:
             sink.write(to_prometheus(self.metrics))
+        write_chrome_trace(paths["trace"], self.tracer)
+        if self.manifest is not None:
+            paths["manifest"] = write_manifest(directory, self.manifest)
         return paths
 
 

@@ -1,0 +1,99 @@
+"""Chrome trace-event JSON export of a finished span trace.
+
+Renders a :class:`~repro.obs.tracing.Tracer` tree as the Trace Event
+Format consumed by Perfetto / ``chrome://tracing``: one complete-event
+(``"ph": "X"``) per span with microsecond timestamps, plus thread-name
+metadata records giving each shard its own track.  Spans re-rooted under
+``shard[i]`` by :mod:`repro.obs.merge` land on track ``i + 1``; the
+parent's own spans (study phases, probing) land on track 0 ("main").
+
+Timestamps come from ``time.perf_counter()`` (CLOCK_MONOTONIC), which is
+comparable across the processes of one run; the export normalizes them
+so the earliest span starts at 0.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+__all__ = ["to_trace_events", "chrome_trace", "write_chrome_trace"]
+
+_SHARD_ROOT_RE = re.compile(r"^shard\[(\d+)\]$")
+
+
+def _shard_track(record: dict) -> tuple[int, str] | None:
+    """(tid, label) when ``record`` is a shard root, else None.
+
+    Shard roots are recognised anywhere in the tree — the merge grafts
+    them *under* the parent's ``study.pipeline`` span — by their
+    ``shard[i]`` name or an integer ``shard`` attribute.
+    """
+    match = _SHARD_ROOT_RE.match(record.get("name", ""))
+    if match is not None:
+        shard = int(match.group(1))
+        return shard + 1, f"shard[{shard}]"
+    shard = record.get("attributes", {}).get("shard")
+    if isinstance(shard, int) and not isinstance(shard, bool):
+        return shard + 1, f"shard[{shard}]"
+    return None
+
+
+def _walk(record: dict, tid: int, events: list[dict],
+          tracks: dict[int, str]) -> None:
+    track = _shard_track(record)
+    if track is not None:
+        tid = track[0]
+        tracks.setdefault(*track)
+    events.append({
+        "name": record["name"],
+        "ph": "X",
+        "ts": record.get("wall_start", 0.0),  # normalized by caller
+        "dur": max(0.0, record.get("wall_seconds", 0.0)),
+        "pid": 0,
+        "tid": tid,
+        "args": {
+            **record.get("attributes", {}),
+            "sim_seconds": record.get("sim_seconds", 0.0),
+        },
+    })
+    for child in record.get("children", ()):
+        _walk(child, tid, events, tracks)
+
+
+def to_trace_events(tree: list[dict]) -> list[dict]:
+    """Flatten a ``Tracer.tree()`` into trace events (metadata first)."""
+    events: list[dict] = []
+    tracks: dict[int, str] = {0: "main"} if tree else {}
+    for root in tree:
+        _walk(root, 0, events, tracks)
+    base = min((e["ts"] for e in events if e["ts"] > 0.0), default=0.0)
+    for event in events:
+        start = event["ts"]
+        event["ts"] = int((start - base) * 1e6) if start > 0.0 else 0
+        event["dur"] = int(event["dur"] * 1e6)
+    metadata = [
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+         "args": {"name": label}}
+        for tid, label in sorted(tracks.items())
+    ]
+    return metadata + events
+
+
+def chrome_trace(tracer_or_tree) -> dict:
+    """The full trace-event JSON document for a tracer (or its tree)."""
+    tree = (tracer_or_tree if isinstance(tracer_or_tree, list)
+            else tracer_or_tree.tree())
+    return {
+        "traceEvents": to_trace_events(tree),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(path: str, tracer_or_tree) -> int:
+    """Write ``trace.json``; returns the number of span events written."""
+    document = chrome_trace(tracer_or_tree)
+    with open(path, "w", encoding="utf-8") as sink:
+        json.dump(document, sink, indent=1, default=str)
+        sink.write("\n")
+    return sum(1 for e in document["traceEvents"] if e["ph"] == "X")

@@ -24,39 +24,47 @@ __all__ = ["Span", "Tracer", "NullTracer", "NULL_SPAN"]
 
 
 class Span:
-    """One traced stage; usable as a context manager via the tracer."""
+    """One traced stage; usable as a context manager via the tracer.
 
-    def __init__(self, tracer: "Tracer", name: str, attributes: dict):
+    ``wall_start`` is the span's begin instant on ``time.perf_counter()``
+    (CLOCK_MONOTONIC on Linux, comparable across processes on one host),
+    ``sim_start`` the simulation-clock instant — both kept so a finished
+    trace can be laid out on a timeline, not just summed.
+    """
+
+    def __init__(self, tracer: "Tracer | None", name: str, attributes: dict):
         self.name = name
         self.attributes = attributes
         self.children: list[Span] = []
         self.wall_elapsed = 0.0
         self.sim_elapsed = 0.0
+        self.wall_start = 0.0
+        self.sim_start = 0.0
         self._tracer = tracer
-        self._wall_start = 0.0
-        self._sim_start = 0.0
 
     def set_attribute(self, key: str, value) -> None:
         self.attributes[key] = value
 
     def __enter__(self) -> "Span":
-        self._wall_start = time.perf_counter()
+        self.wall_start = time.perf_counter()
         clock = self._tracer.sim_clock
-        self._sim_start = clock() if clock is not None else 0.0
+        self.sim_start = clock() if clock is not None else 0.0
         self._tracer._push(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.wall_elapsed = time.perf_counter() - self._wall_start
+        self.wall_elapsed = time.perf_counter() - self.wall_start
         clock = self._tracer.sim_clock
         if clock is not None:
-            self.sim_elapsed = clock() - self._sim_start
+            self.sim_elapsed = clock() - self.sim_start
         self._tracer._pop(self)
 
     def to_dict(self) -> dict:
         record = {
             "name": self.name,
+            "wall_start": self.wall_start,
             "wall_seconds": self.wall_elapsed,
+            "sim_start": self.sim_start,
             "sim_seconds": self.sim_elapsed,
         }
         if self.attributes:
@@ -64,6 +72,18 @@ class Span:
         if self.children:
             record["children"] = [child.to_dict() for child in self.children]
         return record
+
+    @classmethod
+    def from_dict(cls, record: dict, tracer: "Tracer | None" = None) -> "Span":
+        """Rebuild a span (and its subtree) from a :meth:`to_dict` record."""
+        span = cls(tracer, record["name"], dict(record.get("attributes", {})))
+        span.wall_start = record.get("wall_start", 0.0)
+        span.wall_elapsed = record.get("wall_seconds", 0.0)
+        span.sim_start = record.get("sim_start", 0.0)
+        span.sim_elapsed = record.get("sim_seconds", 0.0)
+        span.children = [cls.from_dict(child, tracer)
+                         for child in record.get("children", [])]
+        return span
 
 
 class Tracer:
@@ -116,6 +136,32 @@ class Tracer:
 
     def tree(self) -> list[dict]:
         return [root.to_dict() for root in self.roots]
+
+    # -- snapshot / restore (cross-process merge) ----------------------------
+
+    def snapshot(self) -> dict:
+        """Portable view of the tracer: plain dicts, ``json``/pickle-safe."""
+        return {
+            "aggregate": self.aggregate(),
+            "tree": self.tree(),
+            "dropped": self.dropped,
+        }
+
+    def fold_aggregate(self, aggregate: dict[str, dict[str, float]]) -> None:
+        """Add another tracer's per-stage totals into this one's."""
+        for name, stat in aggregate.items():
+            slot = self._aggregate.setdefault(name, [0, 0.0, 0.0])
+            slot[0] += stat["count"]
+            slot[1] += stat["wall_seconds"]
+            slot[2] += stat["sim_seconds"]
+
+    def adopt(self, span: Span, parent: Span | None = None) -> None:
+        """Attach an already-finished span (a restored subtree) to the tree.
+
+        Bypasses the ``keep_spans`` cap — the caller is grafting a bounded,
+        already-capped worker snapshot, not recording new spans.
+        """
+        (parent.children if parent is not None else self.roots).append(span)
 
 
 class _NullSpan:

@@ -132,3 +132,23 @@ class TestStatsCommand:
         assert "Counters" in text
         assert "samples_collected" in text
         assert "c2_liveness_probes{outcome=live}" in text
+
+    def test_renders_top_spans_and_histogram_quantiles(self):
+        code, text = run_cli("--scale", "smoke", "--seed", "3", "stats")
+        assert code == 0
+        assert "Top spans" in text
+        assert "Histograms" in text
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "feed_latency_seconds" in text
+
+    def test_honours_workers_flag(self):
+        code, serial = run_cli("--scale", "smoke", "--seed", "3", "stats")
+        code2, parallel = run_cli("--scale", "smoke", "--seed", "3",
+                                  "stats", "--workers", "2")
+        assert code == 0 and code2 == 0
+        # the merged parallel run reports the same counter totals; its
+        # stage table additionally carries the shard roots
+        assert "shard[0]" in parallel and "shard[1]" in parallel
+        counters = lambda text: [l for l in text.splitlines()
+                                 if l.startswith(("samples_", "c2_", "ddos_"))]
+        assert counters(parallel) == counters(serial)

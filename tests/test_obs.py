@@ -271,6 +271,43 @@ class TestPrometheusExport:
     def test_escape_helper(self):
         assert escape_label_value('say "hi"\\') == r'say \"hi\"\\'
 
+    def test_help_escaping_backslash_before_newline(self):
+        from repro.obs import escape_help
+
+        # escaping newline first would turn a literal backslash-n into a
+        # double-escaped sequence; backslash must be escaped first
+        assert escape_help("a\nb") == r"a\nb"
+        assert escape_help("a\\nb") == r"a\\nb"
+        assert escape_help("back\\slash\nline") == r"back\\slash\nline"
+
+    def test_hostile_help_and_labels_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("hostile_total",
+                         'multi\nline "help" with \\n literal').inc()
+        weird = registry.counter("weird", "w", labelnames=("v",))
+        for value in ("new\nline", 'quo"te', "back\\slash", '\\"\n'):
+            weird.labels(v=value).inc()
+        text = to_prometheus(registry)
+        lines = text.strip().splitlines()
+        # one physical line per record: nothing leaked a raw newline
+        # (HELP + TYPE + 1 sample) + (HELP + TYPE + 4 samples)
+        assert len(lines) == 3 + 6
+        help_line = next(l for l in lines if l.startswith("# HELP hostile"))
+        assert help_line == r'# HELP hostile_total multi\nline "help" with \\n literal'
+        for line in lines:
+            if not line.startswith("#"):
+                assert PROM_SAMPLE_RE.match(line), line
+        # the escaped label values decode back to the originals
+        import re as _re
+
+        decoded = set()
+        for match in _re.finditer(r'v="((?:[^"\\]|\\.)*)"', text):
+            decoded.add(match.group(1)
+                        .replace(r"\n", "\n")
+                        .replace(r'\"', '"')
+                        .replace(r"\\", "\\"))
+        assert decoded == {"new\nline", 'quo"te', "back\\slash", '\\"\n'}
+
 
 class TestNullTelemetry:
     def test_everything_is_a_noop(self):

@@ -1,0 +1,110 @@
+"""The ``repro obs`` analysis CLI over telemetry artifact directories."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def artifact_dirs(tmp_path_factory):
+    """Two full artifact directories from different seeds (4 workers)."""
+    base = tmp_path_factory.mktemp("obs")
+    dirs = {}
+    for seed in (3, 4):
+        target = str(base / f"run-{seed}")
+        code, text = run_cli("--scale", "smoke", "--seed", str(seed),
+                             "study", "--workers", "4",
+                             "--telemetry", target)
+        assert code == 0
+        dirs[seed] = target
+    return dirs
+
+
+def test_workers4_study_writes_all_five_artifacts(artifact_dirs):
+    import os
+
+    for target in artifact_dirs.values():
+        names = sorted(os.listdir(target))
+        assert names == ["events.jsonl", "manifest.json", "metrics.prom",
+                         "snapshot.json", "trace.json"]
+        for name in names:
+            assert os.path.getsize(os.path.join(target, name)) > 0
+    manifest = json.load(open(artifact_dirs[3] + "/manifest.json"))
+    assert manifest["study"]["workers"] == 4
+    assert len(manifest["shards"]) == 4
+
+
+def test_obs_top_lists_slowest_stages(artifact_dirs):
+    code, text = run_cli("obs", "top", artifact_dirs[3], "-n", "3")
+    assert code == 0
+    assert "Top 3 stages" in text
+    # title + header + separator + 3 rows
+    assert len([l for l in text.splitlines() if l.strip()]) == 6
+    assert "wall s" in text
+
+
+def test_obs_diff_same_run_exits_zero(artifact_dirs):
+    code, text = run_cli("obs", "diff", artifact_dirs[3], artifact_dirs[3])
+    assert code == 0
+    assert "0 breach(es)" in text
+
+
+def test_obs_diff_different_seeds_breaches_threshold(artifact_dirs):
+    code, text = run_cli("obs", "diff", artifact_dirs[3], artifact_dirs[4],
+                         "--threshold", "0.01")
+    assert code == 1
+    assert "BREACH" in text
+    assert "counter" in text
+
+
+def test_obs_diff_appearing_series_breach_any_threshold(artifact_dirs):
+    # a series that appears or vanishes is an infinite relative change;
+    # no finite threshold waves it through
+    code, text = run_cli("obs", "diff", artifact_dirs[3], artifact_dirs[4],
+                         "--threshold", "1e9", "--min-wall", "1e9")
+    breaches = [l for l in text.splitlines() if "BREACH" in l]
+    if breaches:
+        assert code == 1
+        assert all("(new)" in l or "(gone)" in l for l in breaches)
+    else:
+        assert code == 0
+
+
+def test_obs_timeline_renders_tracks(artifact_dirs):
+    code, text = run_cli("obs", "timeline", artifact_dirs[3])
+    assert code == 0
+    assert "main" in text
+    for shard in range(4):
+        assert f"shard[{shard}]" in text
+    assert "#" in text and "spans" in text
+
+
+def test_obs_manifest_summary_and_json(artifact_dirs):
+    code, text = run_cli("obs", "manifest", artifact_dirs[3])
+    assert code == 0
+    assert "seed 3" in text and "workers 4" in text
+    assert "shard[0]" in text and "datasets:" in text
+    code, raw = run_cli("obs", "manifest", artifact_dirs[3], "--json")
+    assert code == 0
+    assert json.loads(raw)["study"]["seed"] == 3
+
+
+def test_obs_rejects_missing_directory(tmp_path):
+    with pytest.raises(SystemExit, match="repro obs"):
+        run_cli("obs", "top", str(tmp_path / "nope"))
+    with pytest.raises(SystemExit, match="repro obs"):
+        run_cli("obs", "manifest", str(tmp_path / "nope"))
+
+
+def test_obs_requires_subcommand():
+    with pytest.raises(SystemExit):
+        run_cli("obs")

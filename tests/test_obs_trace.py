@@ -1,0 +1,93 @@
+"""Chrome trace-event export: format validity and per-shard tracks."""
+
+import json
+
+from repro.core.study import run_study
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    create_telemetry,
+    to_trace_events,
+    write_chrome_trace,
+)
+from repro.world import SMOKE_SCALE, generate_world
+
+
+def _tree_with_shards():
+    """A parent trace with two grafted shard subtrees, hand-built."""
+    return [
+        {"name": "study.pipeline", "wall_start": 10.0, "wall_seconds": 5.0,
+         "sim_start": 0.0, "sim_seconds": 3600.0,
+         "children": [
+             {"name": "shard[0]", "wall_start": 10.5, "wall_seconds": 4.0,
+              "attributes": {"shard": 0, "attempt": 0},
+              "children": [
+                  {"name": "pipeline.run_day", "wall_start": 10.6,
+                   "wall_seconds": 1.0},
+              ]},
+             {"name": "shard[1]", "wall_start": 10.7, "wall_seconds": 4.2},
+         ]},
+    ]
+
+
+def test_trace_events_structure_and_tracks():
+    events = to_trace_events(_tree_with_shards())
+    metadata = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {m["tid"]: m["args"]["name"] for m in metadata} == \
+        {0: "main", 1: "shard[0]", 2: "shard[1]"}
+    by_name = {e["name"]: e for e in spans}
+    assert by_name["study.pipeline"]["tid"] == 0
+    assert by_name["shard[0]"]["tid"] == 1
+    # descendants inherit their shard root's track
+    assert by_name["pipeline.run_day"]["tid"] == 1
+    assert by_name["shard[1]"]["tid"] == 2
+    # timestamps normalize to the earliest span and convert to int µs
+    assert by_name["study.pipeline"]["ts"] == 0
+    assert by_name["shard[0]"]["ts"] == 500_000
+    assert by_name["shard[0]"]["dur"] == 4_000_000
+    assert all(isinstance(e["ts"], int) and e["ts"] >= 0 for e in spans)
+    assert all(isinstance(e["dur"], int) and e["dur"] >= 0 for e in spans)
+
+
+def test_chrome_trace_document_shape():
+    document = chrome_trace(_tree_with_shards())
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    assert document["displayTimeUnit"] == "ms"
+
+
+def test_chrome_trace_accepts_live_tracer():
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    document = chrome_trace(tracer)
+    names = [e["name"] for e in document["traceEvents"] if e["ph"] == "X"]
+    assert sorted(names) == ["a", "b"]
+
+
+def test_empty_tracer_yields_empty_trace(tmp_path):
+    path = str(tmp_path / "trace.json")
+    assert write_chrome_trace(path, Tracer()) == 0
+    assert json.load(open(path))["traceEvents"] == []
+
+
+def test_parallel_study_trace_has_spans_per_shard(tmp_path):
+    workers = 4
+    telemetry = create_telemetry()
+    world = generate_world(seed=11, scale=SMOKE_SCALE)
+    run_study(world, telemetry=telemetry, workers=workers)
+    paths = telemetry.write(str(tmp_path))
+    document = json.load(open(paths["trace"]))
+    spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+    tracks = {m["args"]["name"] for m in metadata}
+    assert {f"shard[{i}]" for i in range(workers)} <= tracks
+    for shard in range(workers):
+        on_track = [e for e in spans if e["tid"] == shard + 1]
+        assert len(on_track) >= 1, f"shard {shard} has no spans"
+    # every event is well-formed for Perfetto: required keys, µs ints
+    for event in spans:
+        assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+        assert isinstance(event["ts"], int) and event["ts"] >= 0
+        assert isinstance(event["dur"], int) and event["dur"] >= 0
