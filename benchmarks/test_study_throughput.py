@@ -16,10 +16,13 @@ pipeline's shard scalability.  Two speedup numbers land in
 import os
 import time
 
+import pytest
+
 from repro.core.cache import StudyCache
 from repro.core.pipeline import MalNet, PipelineConfig
 from repro.core.study import run_study
-from repro.world import StudyScale, generate_world
+from repro.netsim.faults import FAULT_PLANS
+from repro.world import XL_SCALE, StudyScale, generate_world
 
 SCALE = StudyScale(sample_fraction=0.3, probe_days=4,
                    observe_duration=1800.0, observe_poll_interval=300.0,
@@ -35,6 +38,10 @@ SMOKE = StudyScale(sample_fraction=0.05, probe_days=4,
 #: does it in ~0.2 s).  The guard fails at >2x this number — it exists
 #: to catch order-of-magnitude hot-path regressions, not jitter.
 SMOKE_BASELINE_SECONDS = 1.5
+
+#: Same deal for the XL scale (~10x the smoke corpus; a dev box runs the
+#: serial study in ~2 s on the columnar core).
+XL_BASELINE_SECONDS = 10.0
 
 
 def _timed_study(workers=None):
@@ -141,3 +148,35 @@ def test_serial_smoke_throughput_guard():
     assert elapsed <= 2 * SMOKE_BASELINE_SECONDS, (
         f"serial smoke study took {elapsed:.2f}s — more than 2x the "
         f"committed {SMOKE_BASELINE_SECONDS}s baseline")
+
+
+@pytest.mark.skipif(not os.environ.get("REPRO_XL"),
+                    reason="XL stress bench; set REPRO_XL=1")
+def test_xl_study_throughput_guard(benchmark):
+    """XL-scale study under mild faults, 2 workers, with a time guard.
+
+    This is the columnar core's stress setting: ~10x the smoke packet
+    volume.  The serial run feeds the equality check; the benchmarked
+    2-worker run must stay within 2x the committed XL baseline, and both
+    throughput numbers land in ``BENCH_xl_*.json`` for the obs trendline.
+    """
+    def timed_xl(workers=None):
+        world = generate_world(seed=SEED, scale=XL_SCALE)
+        config = PipelineConfig(faults=FAULT_PLANS["mild"])
+        start = time.perf_counter()
+        _m, _c, datasets = run_study(world, config=config, workers=workers)
+        return time.perf_counter() - start, datasets
+
+    serial_elapsed, serial_datasets = timed_xl()
+    elapsed, datasets = benchmark.pedantic(timed_xl, args=(2,),
+                                           rounds=1, iterations=1)
+    assert datasets == serial_datasets
+    samples = len(datasets.profiles)
+    benchmark.extra_info["scale"] = "xl"
+    benchmark.extra_info["samples"] = samples
+    benchmark.extra_info["serial_seconds"] = round(serial_elapsed, 3)
+    benchmark.extra_info["samples_per_second"] = round(samples / elapsed, 2)
+    benchmark.extra_info["cpus"] = _cpus()
+    assert serial_elapsed <= 2 * XL_BASELINE_SECONDS, (
+        f"serial XL study took {serial_elapsed:.2f}s — more than 2x the "
+        f"committed {XL_BASELINE_SECONDS}s baseline")

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..netsim.internet import SECONDS_PER_DAY
+from ..netsim.internet import SECONDS_PER_DAY, TimeWheel
 from .families import C2Dialect, Family
 from .protocols import daddyl33t, gafgyt, irc, mirai
 from .protocols.base import AttackCommand
@@ -116,17 +116,39 @@ class C2Server:
         self.checked_in: set[int] = set()
         #: (bot, command) deliveries, for ground-truth accounting
         self.issued: list[tuple[int, AttackCommand, float]] = []
+        #: schedule indexes bucketed by 4h slot; rebuilt lazily after
+        #: schedule changes (see :meth:`_schedule_wheel`)
+        self._wheel: TimeWheel | None = None
 
     # -- scheduling -----------------------------------------------------------
 
     def schedule_attack(self, when: float, command: AttackCommand) -> None:
         self.schedule.append(ScheduledAttack(when, command))
         self.schedule.sort(key=lambda item: item.when)
+        self._wheel = None
+
+    def _schedule_wheel(self) -> TimeWheel:
+        """Schedule indexes bucketed under every slot their window spans.
+
+        Every bot poll used to scan the whole schedule; the wheel makes a
+        poll touch only the commands whose delivery window overlaps the
+        current 4h slot (an idle slot is one dict miss).  Indexes are
+        inserted in ascending order, so per-slot candidates come back in
+        the same order the full scan would have visited them — the
+        ``delivered`` bookkeeping in session state is unchanged.
+        """
+        wheel = self._wheel
+        if wheel is None:
+            wheel = self._wheel = TimeWheel(SLOT_SECONDS)
+            for index, item in enumerate(self.schedule):
+                wheel.add_window(item.when, item.when + item.window, index)
+        return wheel
 
     def _due_commands(self, session, now: float) -> list[AttackCommand]:
         delivered: set[int] = session.state.setdefault("delivered", set())
         due: list[AttackCommand] = []
-        for index, item in enumerate(self.schedule):
+        for index in self._schedule_wheel().items_at(now):
+            item = self.schedule[index]
             if item.due(now) and index not in delivered:
                 delivered.add(index)
                 due.append(item.command)

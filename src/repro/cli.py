@@ -12,7 +12,8 @@ Usage (also via ``python -m repro``)::
     python -m repro obs diff /tmp/runA /tmp/runB --threshold 0.2
 
 Scales: ``smoke`` (~70 samples, seconds), ``mid`` (~430), ``full`` (the
-paper's 1447 samples, ~10 s).
+paper's 1447 samples, ~10 s), ``xl`` (~720 samples with smoke-sized
+windows — the columnar-core stress setting).
 """
 
 from __future__ import annotations
@@ -34,13 +35,14 @@ from .core.pipeline import PipelineConfig
 from .core.study import run_study
 from .netsim.faults import FAULT_PLANS
 from .obs import NULL_TELEMETRY, Telemetry, create_telemetry
-from .world import FULL_SCALE, SMOKE_SCALE, StudyScale, generate_world
+from .world import FULL_SCALE, SMOKE_SCALE, XL_SCALE, StudyScale, generate_world
 from .world.calibration import ACTIVE_WEEKS
 
 SCALES: dict[str, StudyScale] = {
     "smoke": SMOKE_SCALE,
     "mid": StudyScale(sample_fraction=0.3, probe_days=14),
     "full": FULL_SCALE,
+    "xl": XL_SCALE,
 }
 
 REPORT_CHOICES = (

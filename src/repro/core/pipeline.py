@@ -34,8 +34,10 @@ from ..determinism import shard_of, stable_seed
 from ..feeds.avclass import label_sample
 from ..feeds.virustotal import DETECTION_THRESHOLD
 from ..netsim.addresses import ip_to_int, is_ip_literal
+from ..netsim.capture import columnar_stats
 from ..netsim.faults import FaultInjector, FaultPlan, FeedUnavailable, \
     SandboxCrash
+from ..netsim.packet import encode_memo_stats
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..netsim.internet import SECONDS_PER_DAY
 from ..sandbox.qemu import EmulationError, MipsEmulator
@@ -154,6 +156,42 @@ class MalNet:
         self._m_retries = metrics.counter(
             "pipeline_retries", "retries of fallible pipeline operations",
             labelnames=("stage",))
+        # allocation-path telemetry for the columnar packet core.  The
+        # underlying tallies live in module-level dicts (the hot loops
+        # can't afford a labelled-counter call per packet), so the
+        # pipeline snapshots them at construction and publishes deltas —
+        # a worker process therefore reports only its own shard's work.
+        self._m_encode_memo = metrics.counter(
+            "packet_encode_memo_total",
+            "pcap encode-memo lookups by result",
+            labelnames=("result",))
+        self._m_columnar = metrics.counter(
+            "capture_columnar_total",
+            "columnar capture rows appended / packets materialized",
+            labelnames=("event",))
+        self._encode_base = encode_memo_stats()
+        self._columnar_base = columnar_stats()
+        # pre-seed every known label so zero-valued series still show up
+        # in ``repro stats`` / ``obs diff`` output
+        for result in self._encode_base:
+            self._m_encode_memo.labels(result=result)
+        for event in self._columnar_base:
+            self._m_columnar.labels(event=event)
+
+    def _drain_alloc_stats(self) -> None:
+        """Publish columnar/encode-memo deltas since the last drain."""
+        encode = encode_memo_stats()
+        for result, total in encode.items():
+            delta = total - self._encode_base[result]
+            if delta:
+                self._m_encode_memo.labels(result=result).inc(delta)
+        self._encode_base = encode
+        columnar = columnar_stats()
+        for event, total in columnar.items():
+            delta = total - self._columnar_base[event]
+            if delta:
+                self._m_columnar.labels(event=event).inc(delta)
+        self._columnar_base = columnar
 
     # -- public API --------------------------------------------------------------
 
@@ -168,6 +206,7 @@ class MalNet:
         for day in range(total_days):
             self.run_day(day)
         self.recheck_threat_intel()
+        self._drain_alloc_stats()
         return self.datasets
 
     def run_day(self, day: int) -> list[BinaryNetworkProfile]:
@@ -192,6 +231,7 @@ class MalNet:
                     "pipeline.day", day=day,
                     collected=len(entries), profiled=len(profiles),
                 )
+            self._drain_alloc_stats()
         return profiles
 
     def recheck_threat_intel(self, when: float = MAY_7_2022) -> None:

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from ..determinism import stable_seed
 from ..netsim.addresses import Subnet
-from ..netsim.internet import VirtualInternet
+from ..netsim.internet import SECONDS_PER_DAY, TimeWheel, VirtualInternet
 from ..netsim.packet import Protocol
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..sandbox.sandbox import CncHunterSandbox
@@ -54,9 +54,12 @@ class ProbingCampaign:
     #: the campaign runs identically whether or not the daily pipeline
     #: (or anything else) consumed the shared stream first
     world_seed: int | None = None
-    #: inverted listener index: (host, port) pairs worth scanning at all,
-    #: built once — listener bindings and banners are static world state
-    _scan_index: list | None = field(default=None, repr=False, compare=False)
+    #: time wheel over the inverted listener index: (host, port) pairs
+    #: worth scanning, bucketed by the probe slots their online window
+    #: overlaps — listener bindings, banners, and lifetimes are static
+    #: world state, so this is built once
+    _scan_wheel: TimeWheel | None = field(default=None, repr=False,
+                                          compare=False)
     #: response_matrix memo, keyed by observation/discovery counts
     _matrix_cache: tuple | None = field(default=None, repr=False, compare=False)
 
@@ -95,11 +98,33 @@ class ProbingCampaign:
                     index.append((address, port, host))
         return index
 
+    def _build_scan_wheel(self) -> TimeWheel:
+        """Bucket the scan index by the probe slots each host is online.
+
+        Checking ``is_online`` across the whole index every slot is
+        O(index) of misses — most C2s live a few hours out of a two-week
+        campaign.  Host lifetimes are static, so each index entry is
+        registered under only the slots overlapping its online window
+        (clamped to the campaign span; downloader hosts are open-ended).
+        Entries are inserted in scan-index order, so per-slot candidates
+        keep the order the full scan produced.
+        """
+        wheel = TimeWheel(self.interval_hours * 3600.0)
+        horizon = self.start + self.days * SECONDS_PER_DAY
+        for entry in self._build_scan_index():
+            _address, _port, host = entry
+            begin = max(host.online_from, self.start)
+            end = min(host.online_until, horizon)
+            if end > begin:
+                wheel.add_window(begin, end, entry)
+        return wheel
+
     def _listening_targets(self, now: float) -> list[tuple[int, int]]:
         """SYN-scan the subnets: hosts listening on a probe port now."""
-        if self._scan_index is None:
-            self._scan_index = self._build_scan_index()
-        return [(address, port) for address, port, host in self._scan_index
+        if self._scan_wheel is None:
+            self._scan_wheel = self._build_scan_wheel()
+        return [(address, port)
+                for address, port, host in self._scan_wheel.items_at(now)
                 if host.is_online(now)]
 
     def _probe_slot(self, slot: int) -> None:

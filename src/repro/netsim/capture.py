@@ -13,9 +13,17 @@ persisted to a pcap byte string and reloaded losslessly.
 from __future__ import annotations
 
 import struct
+from array import array
 from typing import BinaryIO, Iterable, Iterator
 
-from .packet import Packet, Protocol, decode_packet, encode_packet
+from .packet import (
+    DEFAULT_TTL,
+    Packet,
+    Protocol,
+    TcpFlags,
+    decode_packet,
+    encode_packet,
+)
 
 PCAP_MAGIC = 0xA1B2C3D4
 PCAP_VERSION_MAJOR = 2
@@ -102,59 +110,232 @@ class PcapReader:
             yield decode_packet(data, timestamp=seconds + micros / 1_000_000)
 
 
+#: materialized Protocol / TcpFlags singletons per raw column value, so a
+#: lazily built packet carries the same enum objects an eager one would
+_PROTOCOL_OF = {int(member): member for member in Protocol}
+_FLAGS_CACHE: dict[int, TcpFlags] = {}
+
+
+def _flags_of(value: int, _cache=_FLAGS_CACHE) -> TcpFlags:
+    flags = _cache.get(value)
+    if flags is None:
+        flags = _cache[value] = TcpFlags(value)
+    return flags
+
+
+def _row_size(protocol: Protocol, payload: bytes) -> int:
+    """On-the-wire datagram length; mirrors :attr:`Packet.size` exactly."""
+    if protocol == Protocol.TCP:
+        return 40 + len(payload)   # 20 IPv4 + 20 TCP
+    return 28 + len(payload)       # 20 IPv4 + 8 UDP/ICMP
+
+
+#: cumulative columnar-store activity for this process; the pipeline
+#: snapshots a baseline and publishes deltas as the telemetry counter
+#: ``capture_columnar_total{event=rows|built}`` — ``rows`` counts packets
+#: recorded without constructing an object, ``built`` counts the subset
+#: later materialized because a trace was actually read
+COLUMN_STATS = {"rows": 0, "built": 0}
+
+
+def columnar_stats() -> dict[str, int]:
+    """A point-in-time copy of the process-wide columnar-store activity."""
+    return dict(COLUMN_STATS)
+
+
+class PacketColumns:
+    """Array-backed parallel columns holding not-yet-built packets.
+
+    One logical packet per index across thirteen columns (typed
+    :class:`array.array` for every numeric field, a plain list for the
+    payload bytes).  Appends land in a staged row buffer first — one
+    tuple per packet, the cheapest possible record — and are transposed
+    into the arrays in bulk the first time anything *reads* the store
+    (:meth:`iter_rows`, :meth:`build_into`, pickling).  The scan-phase
+    common case — thousands of packets recorded, never read — therefore
+    pays neither object construction nor thirteen array appends per row.
+    :meth:`build_into` reconstructs :class:`Packet` objects that are
+    field-for-field identical to eager construction, including the
+    ``Protocol``/``TcpFlags`` enum types.
+    """
+
+    __slots__ = ("ts", "src", "dst", "sport", "dport", "proto", "flags",
+                 "seq", "ack", "ttl", "icmp_type", "icmp_code", "payload",
+                 "_staged")
+
+    def __init__(self):
+        self.ts = array("d")
+        self.src = array("Q")
+        self.dst = array("Q")
+        self.sport = array("H")
+        self.dport = array("H")
+        self.proto = array("B")
+        self.flags = array("B")
+        self.seq = array("Q")
+        self.ack = array("Q")
+        self.ttl = array("B")
+        self.icmp_type = array("B")
+        self.icmp_code = array("B")
+        self.payload: list[bytes] = []
+        #: rows recorded but not yet transposed into the arrays; each is
+        #: the full 13-field column tuple in array order
+        self._staged: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self.ts) + len(self._staged)
+
+    def append_tcp(self, src: int, dst: int, sport: int, dport: int,
+                   flags: int, payload: bytes, seq: int, ack: int,
+                   timestamp: float) -> None:
+        self._staged.append((timestamp, src, dst, sport, dport, 6, flags,
+                             seq, ack, DEFAULT_TTL, 0, 0, payload))
+        COLUMN_STATS["rows"] += 1
+
+    def append_udp(self, src: int, dst: int, sport: int, dport: int,
+                   payload: bytes, timestamp: float) -> None:
+        self._staged.append((timestamp, src, dst, sport, dport, 17, 0,
+                             0, 0, DEFAULT_TTL, 0, 0, payload))
+        COLUMN_STATS["rows"] += 1
+
+    def append_packet(self, pkt: Packet) -> None:
+        """Decompose an existing packet into one columnar row."""
+        self._staged.append((pkt.timestamp, pkt.src, pkt.dst, pkt.sport,
+                             pkt.dport, int(pkt.protocol), int(pkt.flags),
+                             pkt.seq, pkt.ack, pkt.ttl, pkt.icmp_type,
+                             pkt.icmp_code, pkt.payload))
+        COLUMN_STATS["rows"] += 1
+
+    def _flush(self) -> None:
+        """Transpose staged rows into the typed arrays (one bulk pass)."""
+        if not self._staged:
+            return
+        cols = list(zip(*self._staged))
+        self._staged = []
+        self.ts.extend(cols[0])
+        self.src.extend(cols[1])
+        self.dst.extend(cols[2])
+        self.sport.extend(cols[3])
+        self.dport.extend(cols[4])
+        self.proto.extend(cols[5])
+        self.flags.extend(map(int, cols[6]))
+        self.seq.extend(cols[7])
+        self.ack.extend(cols[8])
+        self.ttl.extend(cols[9])
+        self.icmp_type.extend(cols[10])
+        self.icmp_code.extend(cols[11])
+        self.payload.extend(cols[12])
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Rows in :class:`Packet` field order, without building objects."""
+        self._flush()
+        return zip(self.src, self.dst,
+                   map(_PROTOCOL_OF.__getitem__, self.proto),
+                   self.sport, self.dport, self.payload,
+                   map(_flags_of, self.flags),
+                   self.seq, self.ack, self.ttl,
+                   self.icmp_type, self.icmp_code, self.ts)
+
+    def build_into(self, out: list[Packet]) -> None:
+        """Materialize every row as a :class:`Packet`, appending to ``out``."""
+        append = out.append
+        for row in self.iter_rows():
+            append(Packet(*row))
+        COLUMN_STATS["built"] += len(self.ts)
+
+    # arrays pickle compactly; shard results carry columns as columns so
+    # laziness survives the worker -> parent hop
+    def __getstate__(self):
+        self._flush()
+        return (self.ts, self.src, self.dst, self.sport, self.dport,
+                self.proto, self.flags, self.seq, self.ack, self.ttl,
+                self.icmp_type, self.icmp_code, self.payload)
+
+    def __setstate__(self, state) -> None:
+        (self.ts, self.src, self.dst, self.sport, self.dport,
+         self.proto, self.flags, self.seq, self.ack, self.ttl,
+         self.icmp_type, self.icmp_code, self.payload) = state
+        self._staged = []
+
+
 class Capture:
     """An ordered, timestamped packet capture plus query helpers.
 
     Recording supports two speeds.  :meth:`add` appends a materialized
-    :class:`Packet`.  :meth:`add_deferred` appends only a builder and its
-    arguments — the scan hot path records tens of thousands of SYNs that
-    are usually never read (C2 detection runs on the earlier part of the
-    trace), so the ``Packet`` objects are built lazily, in recording
-    order and with the timestamps fixed at record time, the first time
-    :attr:`packets` is actually read.  Either way the observable packet
-    list is identical; laziness only moves the construction cost.
+    :class:`Packet` — callers that keep a reference to the object (the
+    live path re-stamps timestamps after recording) get shared-object
+    semantics.  :meth:`add_tcp` / :meth:`add_udp` append one row to an
+    array-backed columnar tail (:class:`PacketColumns`) without building
+    a ``Packet`` at all — the scan and fake-Internet hot paths record
+    tens of thousands of packets that are usually never read as objects.
+    Field-level readers (:meth:`iter_rows` and the scalar queries) consume
+    the columns directly; ``Packet`` objects are built only if
+    :attr:`packets` is actually read, in recording order and with the
+    timestamps fixed at record time.  Either way the observable packet
+    list is identical; the columnar tail only removes construction cost
+    for packets nobody reads.
     """
 
-    __slots__ = ("_packets", "_deferred", "label")
+    __slots__ = ("_packets", "_cols", "label")
 
     def __init__(self, packets: list[Packet] | None = None, label: str = ""):
         self._packets: list[Packet] = packets if packets is not None else []
-        self._deferred: list[tuple] = []
+        self._cols: PacketColumns | None = None
         self.label = label
 
     @property
     def packets(self) -> list[Packet]:
-        if self._deferred:
+        if self._cols is not None:
             self._materialize()
         return self._packets
 
     @packets.setter
     def packets(self, packets: list[Packet]) -> None:
         self._packets = packets
-        self._deferred.clear()
+        self._cols = None
 
     def _materialize(self) -> None:
-        append = self._packets.append
-        for build, args in self._deferred:
-            append(build(*args))
-        self._deferred.clear()
+        cols = self._cols
+        self._cols = None
+        if cols is not None and len(cols):
+            cols.build_into(self._packets)
+
+    def _tail(self) -> PacketColumns:
+        cols = self._cols
+        if cols is None:
+            cols = self._cols = PacketColumns()
+        return cols
 
     def add(self, pkt: Packet) -> None:
-        if self._deferred:
+        if self._cols is not None:
             self._materialize()
         self._packets.append(pkt)
 
-    def add_deferred(self, build, args: tuple) -> None:
-        """Record ``build(*args)`` without constructing the packet yet."""
-        self._deferred.append((build, args))
+    def add_tcp(self, src: int, dst: int, sport: int, dport: int,
+                flags: int, payload: bytes = b"", seq: int = 0,
+                ack: int = 0, timestamp: float = 0.0) -> None:
+        """Record a TCP packet as a columnar row (no object built)."""
+        cols = self._cols
+        if cols is None:
+            cols = self._cols = PacketColumns()
+        cols.append_tcp(src, dst, sport, dport, flags, payload,
+                        seq, ack, timestamp)
+
+    def add_udp(self, src: int, dst: int, sport: int, dport: int,
+                payload: bytes = b"", timestamp: float = 0.0) -> None:
+        """Record a UDP packet as a columnar row (no object built)."""
+        cols = self._cols
+        if cols is None:
+            cols = self._cols = PacketColumns()
+        cols.append_udp(src, dst, sport, dport, payload, timestamp)
 
     def extend(self, packets: Iterable[Packet]) -> None:
-        if self._deferred:
+        if self._cols is not None:
             self._materialize()
         self._packets.extend(packets)
 
     def __len__(self) -> int:
-        return len(self._packets) + len(self._deferred)
+        cols = self._cols
+        return len(self._packets) + (len(cols) if cols is not None else 0)
 
     def __iter__(self) -> Iterator[Packet]:
         return iter(self.packets)
@@ -171,14 +352,39 @@ class Capture:
         return (f"Capture(packets=<{len(self)} packets>, "
                 f"label={self.label!r})")
 
-    # deferred builders may close over live objects; pickles carry the
-    # materialized list so they stay self-contained
+    # pickles carry the columnar tail as columns (arrays serialize far
+    # smaller than Packet objects), so shard transport stays lazy; the
+    # legacy (packets, label) shape is still accepted on load
     def __getstate__(self):
-        return (self.packets, self.label)
+        cols = self._cols if self._cols is not None and len(self._cols) \
+            else None
+        return ("columnar-v1", self._packets, cols, self.label)
 
     def __setstate__(self, state) -> None:
-        self._packets, self.label = state
-        self._deferred = []
+        if len(state) == 4 and state[0] == "columnar-v1":
+            _tag, self._packets, self._cols, self.label = state
+        else:
+            self._packets, self.label = state
+            self._cols = None
+
+    # -- field-level reads --------------------------------------------------
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Every packet as a tuple in :class:`Packet` field order.
+
+        ``(src, dst, protocol, sport, dport, payload, flags, seq, ack,
+        ttl, icmp_type, icmp_code, timestamp)`` — already-materialized
+        packets are decomposed, columnar rows are yielded directly, so
+        iterating never triggers materialization.  ``Packet(*row)``
+        rebuilds the equivalent object when one is genuinely needed.
+        """
+        for p in self._packets:
+            yield (p.src, p.dst, p.protocol, p.sport, p.dport, p.payload,
+                   p.flags, p.seq, p.ack, p.ttl, p.icmp_type, p.icmp_code,
+                   p.timestamp)
+        cols = self._cols
+        if cols is not None:
+            yield from cols.iter_rows()
 
     # -- queries -----------------------------------------------------------
 
@@ -206,32 +412,32 @@ class Capture:
         )
 
     def destinations(self) -> set[int]:
-        return {p.dst for p in self.packets}
+        return {row[1] for row in self.iter_rows()}
 
     def destination_ports(self, protocol: Protocol | None = None) -> dict[int, int]:
         """Map of destination port -> packet count."""
         counts: dict[int, int] = {}
-        for p in self.packets:
-            if protocol is not None and p.protocol != protocol:
+        for row in self.iter_rows():
+            if protocol is not None and row[2] != protocol:
                 continue
-            counts[p.dport] = counts.get(p.dport, 0) + 1
+            counts[row[4]] = counts.get(row[4], 0) + 1
         return counts
 
     def duration(self) -> float:
-        if not self.packets:
+        if not len(self):
             return 0.0
-        times = [p.timestamp for p in self.packets]
+        times = [row[12] for row in self.iter_rows()]
         return max(times) - min(times)
 
     def total_bytes(self) -> int:
-        return sum(p.size for p in self.packets)
+        return sum(_row_size(row[2], row[5]) for row in self.iter_rows())
 
     def packets_per_second(self) -> float:
         """Mean packet rate across the capture (0 for <2 packets)."""
         span = self.duration()
         if span <= 0:
             return 0.0
-        return len(self.packets) / span
+        return len(self) / span
 
     # -- persistence ---------------------------------------------------------
 

@@ -163,16 +163,28 @@ class FaultInjector:
         self.plan = plan
         self.seed = seed
         self._counter = counter
-        # memo for per-day feed decisions: the pull path re-asks the same
-        # (feed, day) question for every entry in the feed, and the
-        # answers are pure, so caching them is free determinism-wise
-        self._day_memo: dict[tuple, bool] = {}
+        # memo for per-(entity, slot) window decisions: the hot loops ask
+        # the same question for every packet in a slot (is this host in a
+        # loss window? is this feed's day an outage?), the answers are
+        # pure functions of (seed, entity, slot), and plan rates are
+        # frozen — so one sha256 draw per window block replaces one per
+        # event, with a byte-identical decision stream
+        self._window_memo: dict[tuple, bool] = {}
 
     def _unit(self, kind: str, *parts) -> float:
         return stable_unit("fault", kind, self.seed, *parts)
 
     def _slot(self, now: float) -> int:
         return int(now // self.plan.slot_seconds)
+
+    def _window(self, kind: str, entity, slot: int, rate: float) -> bool:
+        """Memoized windowed decision: ``unit(kind, entity, slot) < rate``."""
+        key = (kind, entity, slot)
+        memo = self._window_memo
+        hit = memo.get(key)
+        if hit is None:
+            hit = memo[key] = self._unit(kind, entity, slot) < rate
+        return hit
 
     def _fired(self, kind: str) -> bool:
         if self._counter is not None:
@@ -185,8 +197,8 @@ class FaultInjector:
         """SYN to ``host`` at ``now`` is lost (window drop or timeout)."""
         plan = self.plan
         if plan.syn_drop_window_rate and (
-            self._unit("syn-window", host, self._slot(now))
-            < plan.syn_drop_window_rate
+            self._window("syn-window", host, self._slot(now),
+                         plan.syn_drop_window_rate)
             and self._unit("syn-drop", host, int(now * 1000))
             < plan.syn_drop_rate
         ):
@@ -203,8 +215,8 @@ class FaultInjector:
         plan = self.plan
         if not plan.packet_loss_window_rate:
             return False
-        if self._unit("loss-window", host, self._slot(when)) \
-                >= plan.packet_loss_window_rate:
+        if not self._window("loss-window", host, self._slot(when),
+                            plan.packet_loss_window_rate):
             return False
         if self._unit("loss", host, int(when * 1000)) < plan.packet_loss_rate:
             return self._fired("packet_loss")
@@ -213,9 +225,9 @@ class FaultInjector:
     def dns_servfail(self, name: str, now: float) -> bool:
         """The backbone resolver SERVFAILs ``name`` in this slot."""
         plan = self.plan
-        if plan.dns_servfail_rate and (
-            self._unit("servfail", name.lower(), self._slot(now))
-            < plan.dns_servfail_rate
+        if plan.dns_servfail_rate and self._window(
+            "servfail", name.lower(), self._slot(now),
+            plan.dns_servfail_rate,
         ):
             return self._fired("dns_servfail")
         return False
@@ -235,7 +247,8 @@ class FaultInjector:
         if not plan.feed_outage_rate:
             return False
         day = int(when // _DAY)
-        if self._unit("feed-outage", feed, day) >= plan.feed_outage_rate:
+        if not self._window("feed-outage", feed, day,
+                            plan.feed_outage_rate):
             return False
         if attempt > 0 and self._unit("feed-retry", feed, day, attempt) \
                 >= plan.feed_retry_still_down:
@@ -248,13 +261,8 @@ class FaultInjector:
         if not plan.feed_spike_rate:
             return 0.0
         day = int(published // _DAY)
-        key = ("spike", feed, day)
-        spiked = self._day_memo.get(key)
-        if spiked is None:
-            spiked = self._unit("feed-spike-day", feed, day) \
-                < plan.feed_spike_rate
-            self._day_memo[key] = spiked
-        if not spiked:
+        if not self._window("feed-spike-day", feed, day,
+                            plan.feed_spike_rate):
             return 0.0
         return plan.feed_spike_max_delay * self._unit("feed-spike", feed,
                                                       sha256)

@@ -87,27 +87,36 @@ class Flow:
         return self.packets_fwd / self.duration
 
     def observe(self, pkt: Packet) -> None:
-        forward = pkt.src == self.initiator and pkt.sport == self.initiator_port
-        self.last_time = max(self.last_time, pkt.timestamp)
-        self.first_time = min(self.first_time, pkt.timestamp)
+        self.observe_fields(pkt.src, pkt.sport, pkt.timestamp, pkt.size,
+                            pkt.payload, pkt.protocol, pkt.flags)
+
+    def observe_fields(self, src: int, sport: int, timestamp: float,
+                       size: int, payload: bytes, protocol: Protocol,
+                       flags: TcpFlags) -> None:
+        """Fold one packet's fields in without needing a ``Packet`` object."""
+        forward = src == self.initiator and sport == self.initiator_port
+        self.last_time = max(self.last_time, timestamp)
+        self.first_time = min(self.first_time, timestamp)
         if forward:
             self.packets_fwd += 1
-            self.bytes_fwd += pkt.size
+            self.bytes_fwd += size
             if len(self.payload_fwd) < 1 << 20:
-                self.payload_fwd.extend(pkt.payload)
+                self.payload_fwd.extend(payload)
         else:
             self.packets_rev += 1
-            self.bytes_rev += pkt.size
+            self.bytes_rev += size
             if len(self.payload_rev) < 1 << 20:
-                self.payload_rev.extend(pkt.payload)
-        if pkt.protocol == Protocol.TCP:
-            if pkt.is_syn:
+                self.payload_rev.extend(payload)
+        if protocol == Protocol.TCP:
+            syn = flags & TcpFlags.SYN
+            ack = flags & TcpFlags.ACK
+            if syn and not ack:
                 self.syn_seen = True
-            if pkt.is_synack:
+            if syn and ack:
                 self.synack_seen = True
-            if pkt.flags & TcpFlags.RST:
+            if flags & TcpFlags.RST:
                 self.rst_seen = True
-            if pkt.flags & TcpFlags.FIN:
+            if flags & TcpFlags.FIN:
                 self.fin_seen = True
 
 
@@ -134,11 +143,43 @@ class FlowTable:
         flow.observe(pkt)
         return flow
 
+    def observe_row(self, row: tuple) -> Flow:
+        """Fold one :meth:`Capture.iter_rows` tuple in, object-free."""
+        (src, dst, protocol, sport, dport, payload, flags,
+         _seq, _ack, _ttl, _icmp_type, _icmp_code, timestamp) = row
+        if (src, sport) <= (dst, dport):
+            key = FlowKey(src, sport, dst, dport, protocol)
+        else:
+            key = FlowKey(dst, dport, src, sport, protocol)
+        flow = self._flows.get(key)
+        if flow is None:
+            flow = Flow(
+                key=key, initiator=src, responder=dst, initiator_port=sport,
+                responder_port=dport, first_time=timestamp,
+                last_time=timestamp,
+            )
+            self._flows[key] = flow
+        if protocol == Protocol.TCP:
+            size = 40 + len(payload)   # mirrors Packet.size
+        else:
+            size = 28 + len(payload)
+        flow.observe_fields(src, sport, timestamp, size, payload, protocol,
+                            flags)
+        return flow
+
     @classmethod
     def from_capture(cls, capture: Capture) -> "FlowTable":
         table = cls()
-        for pkt in capture:
-            table.observe(pkt)
+        rows = getattr(capture, "iter_rows", None)
+        if rows is not None:
+            # field-level read: a columnar capture aggregates into flows
+            # without ever building Packet objects
+            observe_row = table.observe_row
+            for row in rows():
+                observe_row(row)
+        else:
+            for pkt in capture:
+                table.observe(pkt)
         return table
 
     def flows(self) -> list[Flow]:

@@ -15,7 +15,9 @@ service callback receives the current time, which is how C2 "elusiveness"
 
 from __future__ import annotations
 
+import math
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Protocol as TypingProtocol
 
@@ -31,11 +33,141 @@ STUDY_EPOCH = 1614556800.0
 SECONDS_PER_DAY = 86400.0
 
 
-class SimClock:
-    """Monotonic simulation clock in seconds since the Unix epoch."""
+_EMPTY_SLOT: tuple = ()
 
-    def __init__(self, start: float = STUDY_EPOCH):
+
+class TimeWheel:
+    """Slot-indexed schedule: pending items bucketed by time slot.
+
+    The simulation's recurring schedules (C2 attack windows, host online
+    windows) were linear scans per query — O(all items) at every poll,
+    almost all of it misses.  A wheel buckets each item under every slot
+    its active window overlaps, so a query touches only the items that
+    could possibly be due *now* (one dict lookup — an empty slot costs
+    O(1) regardless of how many items exist elsewhere on the timeline),
+    and :meth:`next_occupied` finds the next non-empty slot without
+    stepping through the empty ones.
+
+    Items are indexed by *slot*, which is coarser than their exact
+    windows: callers re-check the precise predicate (``due(now)``,
+    ``is_online(now)``) on the handful of candidates a slot returns.
+    Within a slot, items keep insertion order, so a wheel filled in a
+    canonical order yields candidates in that same order — which is what
+    keeps wheel-backed lookups byte-identical to the scans they replace.
+    """
+
+    __slots__ = ("slot_seconds", "_slots", "_order")
+
+    def __init__(self, slot_seconds: float = 3600.0):
+        if slot_seconds <= 0:
+            raise ValueError("slot_seconds must be positive")
+        self.slot_seconds = slot_seconds
+        self._slots: dict[int, list] = {}
+        #: sorted occupied-slot keys, rebuilt lazily after inserts
+        self._order: list[int] | None = None
+
+    def slot_of(self, when: float) -> int:
+        return int(when // self.slot_seconds)
+
+    def add(self, when: float, item) -> None:
+        """Index ``item`` under the slot containing ``when``."""
+        if not math.isfinite(when):
+            raise ValueError("event time must be finite")
+        self._slots.setdefault(self.slot_of(when), []).append(item)
+        self._order = None
+
+    def add_window(self, start: float, end: float, item) -> None:
+        """Index ``item`` under every slot overlapping ``[start, end)``.
+
+        Callers clamp open-ended windows to their horizon first; slot
+        coverage errs on the inclusive side (float boundaries may add one
+        extra slot), which is harmless because consumers re-check exact
+        windows on the candidates.
+        """
+        if end <= start:
+            return
+        if not (math.isfinite(start) and math.isfinite(end)):
+            raise ValueError("window bounds must be finite (clamp first)")
+        first = self.slot_of(start)
+        last = self.slot_of(end)
+        if last * self.slot_seconds == end:
+            last -= 1  # end is exclusive and falls exactly on a boundary
+        slots = self._slots
+        for slot in range(first, last + 1):
+            slots.setdefault(slot, []).append(item)
+        self._order = None
+
+    def items_at(self, when: float):
+        """Candidates indexed under the slot containing ``when``."""
+        return self._slots.get(self.slot_of(when), _EMPTY_SLOT)
+
+    def next_occupied(self, when: float) -> float | None:
+        """Start time of the first occupied slot at or after ``when``.
+
+        ``None`` when nothing is scheduled from ``when`` onward.  Uses a
+        lazily cached sorted key list, so skipping any number of empty
+        slots costs one bisect instead of one advance per slot.
+        """
+        order = self._order
+        if order is None:
+            order = self._order = sorted(self._slots)
+        index = bisect_left(order, self.slot_of(when))
+        if index == len(order):
+            return None
+        return order[index] * self.slot_seconds
+
+    def __len__(self) -> int:
+        """Number of occupied slots."""
+        return len(self._slots)
+
+
+class SimClock:
+    """Monotonic simulation clock in seconds since the Unix epoch.
+
+    The clock optionally carries a :class:`TimeWheel` of pending events
+    (:meth:`schedule`), letting consumers jump straight to the next
+    occupied slot (:meth:`advance_to_next_event`) instead of advancing
+    through empty time slot by slot.
+    """
+
+    def __init__(self, start: float = STUDY_EPOCH,
+                 slot_seconds: float = 3600.0):
         self._now = start
+        self._slot_seconds = slot_seconds
+        self._wheel: TimeWheel | None = None
+
+    @property
+    def wheel(self) -> TimeWheel:
+        """The event wheel, created on first use."""
+        if self._wheel is None:
+            self._wheel = TimeWheel(self._slot_seconds)
+        return self._wheel
+
+    def schedule(self, when: float, item) -> None:
+        """Register a pending event for :meth:`advance_to_next_event`."""
+        self.wheel.add(when, item)
+
+    def pending(self):
+        """Events indexed under the slot containing the current time."""
+        if self._wheel is None:
+            return _EMPTY_SLOT
+        return self._wheel.items_at(self._now)
+
+    def advance_to_next_event(self, limit: float) -> float:
+        """Jump to the next occupied slot's start, capped at ``limit``.
+
+        With no event scheduled before ``limit`` the clock lands exactly
+        on ``limit``; the clock never moves backwards.
+        """
+        if limit < self._now:
+            raise ValueError("clock cannot go backwards")
+        target = None if self._wheel is None \
+            else self._wheel.next_occupied(self._now)
+        if target is None or target > limit:
+            target = limit
+        if target > self._now:
+            self._now = target
+        return self._now
 
     @property
     def now(self) -> float:

@@ -32,7 +32,7 @@ class TcpError(RuntimeError):
     """Raised on protocol violations (e.g. data before handshake)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpConnection:
     """One endpoint of a TCP connection.
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from ..determinism import stable_seed
 from ..netsim.addresses import ephemeral_port
 from ..netsim.capture import Capture
-from ..netsim.packet import Packet, TcpFlags, tcp_packet
+from ..netsim.packet import Packet, TcpFlags
 
 #: ports contacted on more than this many distinct IPs get a fake victim
 DEFAULT_FANOUT_THRESHOLD = 20
@@ -83,7 +83,7 @@ class Handshaker:
         self.rng = rng
         self.fanout_threshold = fanout_threshold
         self.trace = trace if trace is not None else Capture(label="handshaker")
-        self._defer = self.trace.add_deferred
+        self._tcp_row = self.trace.add_tcp
         self.base_time = base_time
         self._ticks = 0
         #: port -> distinct target IPs observed
@@ -129,21 +129,19 @@ class Handshaker:
 
     def _record_syn(self, dst: int, port: int) -> None:
         # the SYN's randomness (ephemeral port) and timestamp are drawn
-        # NOW, in trace order; only the Packet object is built lazily —
-        # most scan-phase packets are recorded but never read, so the
-        # deferred trace materializes byte-identical packets on demand
+        # NOW, in trace order; the packet itself lands as one columnar
+        # row — most scan-phase packets are recorded but never read, and
+        # the trace rebuilds byte-identical Packet objects only on demand
         self._ticks += 1
-        self._defer(
-            tcp_packet,
-            (self.bot_ip, dst, self.rng.randrange(49152, 65536), port,
-             _SYN, b"", 0, 0, self.base_time + self._ticks * 0.005))
+        self._tcp_row(
+            self.bot_ip, dst, self.rng.randrange(49152, 65536), port,
+            _SYN, b"", 0, 0, self.base_time + self._ticks * 0.005)
 
     def _collect(self, target: int, port: int, payload: bytes) -> None:
         self._ticks += 1
-        self._defer(
-            tcp_packet,
-            (self.bot_ip, target, self.rng.randrange(49152, 65536), port,
-             _PSH_ACK, payload, 0, 0, self.base_time + self._ticks * 0.005))
+        self._tcp_row(
+            self.bot_ip, target, self.rng.randrange(49152, 65536), port,
+            _PSH_ACK, payload, 0, 0, self.base_time + self._ticks * 0.005)
         key = (target, port)
         existing = self._latest.get(key)
         if existing is None:

@@ -16,11 +16,13 @@ from dataclasses import dataclass
 
 from ..netsim.addresses import ephemeral_port, ip_to_int
 from ..netsim.capture import Capture
-from ..netsim.packet import Packet, TcpFlags, tcp_packet, udp_packet
+from ..netsim.packet import Packet, TcpFlags
 
 #: All faked endpoints resolve into this documentation block, so analysis
 #: can tell sandbox-synthesized addresses from world addresses.
 FAKE_NET_BASE = ip_to_int("198.18.0.0")  # RFC 2544 benchmark block
+
+_PSH_ACK = TcpFlags.PSH | TcpFlags.ACK
 
 
 @dataclass
@@ -70,11 +72,11 @@ class _FakeSession:
         if self._trace is None:
             return
         self._adapter.ticks += 1
-        self._trace.add(
-            tcp_packet(src, dst, sport, dport, TcpFlags.PSH | TcpFlags.ACK,
-                       payload, timestamp=self._adapter.base_time +
-                       self._adapter.ticks * 0.01)
-        )
+        # columnar row, not a Packet: C2-phase traffic is consumed by the
+        # flow table's field-level reader and usually never read as objects
+        self._trace.add_tcp(src, dst, sport, dport, _PSH_ACK, payload, 0, 0,
+                            self._adapter.base_time +
+                            self._adapter.ticks * 0.01)
 
 
 class FakeInternetAdapter:
@@ -105,10 +107,9 @@ class FakeInternetAdapter:
         address = self._name_cache[name]
         if trace is not None:
             self.ticks += 1
-            query = udp_packet(self.bot_ip, FAKE_NET_BASE, 5353, 53,
-                               name.encode("ascii"),
-                               timestamp=self.base_time + self.ticks * 0.01)
-            trace.add(query)
+            trace.add_udp(self.bot_ip, FAKE_NET_BASE, 5353, 53,
+                          name.encode("ascii"),
+                          timestamp=self.base_time + self.ticks * 0.01)
         return address
 
     def tcp_connect(self, dst: int, port: int, trace: Capture | None = None):

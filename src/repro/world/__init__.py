@@ -1,7 +1,13 @@
 """Ground-truth world generation, calibrated to the paper's findings."""
 
 from . import calibration
-from .calibration import DEFAULT_SEED, FULL_SCALE, SMOKE_SCALE, StudyScale
+from .calibration import (
+    DEFAULT_SEED,
+    FULL_SCALE,
+    SMOKE_SCALE,
+    XL_SCALE,
+    StudyScale,
+)
 from .generator import World, WorldGenerator, generate_world
 from .model import (
     C2Deployment,
@@ -23,6 +29,7 @@ __all__ = [
     "StudyScale",
     "World",
     "WorldGenerator",
+    "XL_SCALE",
     "calibration",
     "generate_world",
 ]

@@ -78,7 +78,7 @@ class WorldGenerator:
         self.scale = scale or cal.FULL_SCALE
         self.rng = random.Random(seed)
         self.internet = VirtualInternet(random.Random(seed + 1))
-        self.internet.backbone_limit = 20_000
+        self.internet.backbone_limit = self.scale.backbone_limit
         self.asdb = AsDatabase(random.Random(seed + 2))
         self.vt = VirusTotalService(random.Random(seed + 3))
         self.bazaar = MalwareBazaarService(random.Random(seed + 4))

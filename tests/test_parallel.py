@@ -6,6 +6,8 @@ synthetic conflicting records, in-process shard+merge against the serial
 pipeline, and the full multiprocessing path through ``run_study``.
 """
 
+import os
+
 import pytest
 
 from repro.botnet.protocols.base import AttackCommand
@@ -15,7 +17,7 @@ from repro.core.pipeline import MalNet, PipelineConfig
 from repro.core.study import run_study
 from repro.determinism import shard_of
 from repro.obs import MetricsRegistry
-from repro.world import StudyScale, generate_world
+from repro.world import XL_SCALE, StudyScale, generate_world
 
 SCALE = StudyScale(sample_fraction=0.05, probe_days=4,
                    observe_duration=1800.0, observe_poll_interval=300.0,
@@ -43,6 +45,21 @@ def test_parallel_study_equals_serial(workers, serial):
     assert list(datasets.d_c2s) == list(serial.d_c2s)
     assert [p.sha256 for p in datasets.profiles] == \
         [p.sha256 for p in serial.profiles]
+
+
+@pytest.mark.skipif(not os.environ.get("REPRO_XL"),
+                    reason="XL-scale invariant check; set REPRO_XL=1")
+def test_parallel_study_equals_serial_at_xl_scale():
+    """The invariant at ~10x smoke volume (the columnar-core stress run)."""
+    world = generate_world(seed=SEED, scale=XL_SCALE)
+    _malnet, _campaign, serial_xl = run_study(world)
+    for workers in (1, 2, 4):
+        world = generate_world(seed=SEED, scale=XL_SCALE)
+        _malnet, _campaign, datasets = run_study(world, workers=workers)
+        assert datasets == serial_xl
+        assert list(datasets.d_c2s) == list(serial_xl.d_c2s)
+        assert [p.sha256 for p in datasets.profiles] == \
+            [p.sha256 for p in serial_xl.profiles]
 
 
 def test_inprocess_shards_merge_to_serial(serial):
