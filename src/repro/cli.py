@@ -10,6 +10,9 @@ Usage (also via ``python -m repro``)::
     python -m repro stats  --scale smoke --workers 2
     python -m repro obs top /tmp/telemetry
     python -m repro obs diff /tmp/runA /tmp/runB --threshold 0.2
+    python -m repro serve  --scale smoke --port 8321 --checkpoint-dir /tmp/ckpt
+    python -m repro query http://127.0.0.1:8321 ingest --days all
+    python -m repro query http://127.0.0.1:8321 profile --sha256 <hash>
 
 Scales: ``smoke`` (~70 samples, seconds), ``mid`` (~430), ``full`` (the
 paper's 1447 samples, ~10 s), ``xl`` (~720 samples with smoke-sized
@@ -48,7 +51,35 @@ SCALES: dict[str, StudyScale] = {
 REPORT_CHOICES = (
     "table1", "table2", "table3", "table4", "table7",
     "fig1", "fig2", "fig4", "fig5", "fig9", "fig10", "fig11",
+    "samples",
 )
+
+QUERY_CHOICES = (
+    "status", "digest", "health", "profiles", "profile", "c2", "lifespans",
+    "ddos", "exploits", "rules", "metrics", "ingest", "finalize",
+)
+
+
+def _sample_rows(datasets, limit: int = 20) -> list[list]:
+    """Per-C2 sample attribution rows (largest C2s first).
+
+    Each sample hash on a C2 record is resolved through the O(1)
+    ``profile_by_sha256`` index rather than scanning the profile list
+    per hash."""
+    rows: list[list] = []
+    records = sorted(datasets.d_c2s.values(),
+                     key=lambda r: (-r.distinct_samples, r.endpoint))
+    for record in records:
+        for sha256 in sorted(record.sample_hashes):
+            profile = datasets.profile_by_sha256(sha256)
+            if profile is None:
+                continue
+            rows.append([sha256[:12], profile.family_label or "?",
+                         profile.day, record.endpoint,
+                         len(profile.exploits), len(profile.attacks)])
+            if len(rows) >= limit:
+                return rows
+    return rows
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -153,6 +184,48 @@ def _build_parser() -> argparse.ArgumentParser:
     pcap.add_argument("--limit", type=int, default=10,
                       help="max binaries to export (default 10)")
     telemetry_flag(pcap)
+
+    serve = sub.add_parser(
+        "serve", help="run the study as a daemon: ingest feed days "
+                      "incrementally and serve the JSON query API")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port, 0 for ephemeral (default 8321)")
+    serve.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="persist a checkpoint after every ingested day; "
+                            "a restart with the same study resumes from the "
+                            "last completed day")
+    serve.add_argument("--auto-ingest", type=float, default=None,
+                       metavar="SECONDS",
+                       help="simulated feed clock: ingest one day every "
+                            "SECONDS without waiting for POST /ingest/day")
+    serve.add_argument("--study-days", type=int, default=None, metavar="N",
+                       help="truncate the study to its first N feed days")
+    workers_flag(serve)
+    faults_flag(serve)
+    telemetry_flag(serve)
+
+    query = sub.add_parser(
+        "query", help="query a running study service (repro serve)")
+    query.add_argument("url", help="service base URL, "
+                                   "e.g. http://127.0.0.1:8321")
+    query.add_argument("what", choices=QUERY_CHOICES,
+                       help="route to query")
+    query.add_argument("--sha256", default=None,
+                       help="binary hash for 'profile'")
+    query.add_argument("--days", default="1",
+                       help="days to ingest for 'ingest': a count or "
+                            "'all' (default 1)")
+    query.add_argument("--day", type=int, default=None,
+                       help="filter 'profiles' to one study day")
+    query.add_argument("--limit", type=int, default=None,
+                       help="cap 'profiles' output")
+    query.add_argument("--tech", choices=("iptables", "dnsmasq", "snort",
+                                          "all"),
+                       default="all", help="rule technology for 'rules'")
+    query.add_argument("--timeout", type=float, default=30.0,
+                       help="request timeout in seconds (default 30)")
     return parser
 
 
@@ -272,6 +345,9 @@ def _cmd_report(args, out) -> int:
             {f"{f}/{t}": n
              for (f, t), n in ddos_analysis.type_by_family(datasets).items()},
             "Figure 11"),
+        "samples": lambda: render_table(
+            ["sha256", "family", "day", "c2", "exploits", "attacks"],
+            _sample_rows(datasets), "Samples per C2"),
     }
     for what in args.what:
         _emit(out, telemetry, renderers[what](), "cli.render", what=what)
@@ -337,6 +413,21 @@ def _cmd_obs(args, out) -> int:
     from .obs import analysis
     from .obs.manifest import read_manifest
 
+    # fail with a clear message before touching any artifact: every obs
+    # subcommand reads directories written by --telemetry, and a typo'd
+    # or empty path should not surface as a traceback
+    directories = [d for d in (getattr(args, "dir", None),
+                               getattr(args, "dir_a", None),
+                               getattr(args, "dir_b", None)) if d]
+    for directory in directories:
+        if not os.path.isdir(directory):
+            raise SystemExit(
+                f"repro obs: {directory!r} is not a directory; expected "
+                "an artifact directory written by --telemetry")
+        if not os.listdir(directory):
+            raise SystemExit(
+                f"repro obs: {directory!r} is empty; run a study with "
+                "--telemetry to populate it")
     try:
         if args.obs_command == "top":
             rows = [
@@ -374,6 +465,12 @@ def _cmd_obs(args, out) -> int:
         return 0
     except OSError as exc:
         raise SystemExit(f"repro obs: {exc}")
+    except (ValueError, KeyError) as exc:
+        # truncated JSON, a non-telemetry file, a snapshot missing keys —
+        # name the problem instead of dumping a traceback
+        raise SystemExit(
+            f"repro obs: corrupt or incomplete artifact in "
+            f"{' / '.join(directories)}: {exc}")
 
 
 def _cmd_rules(args, out) -> int:
@@ -423,6 +520,96 @@ def _cmd_pcap(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    """Run the ingestion daemon until SIGTERM/SIGINT."""
+    from .service import StudyService, build_server, serve_forever
+
+    telemetry, telemetry_path = _telemetry_for(args)
+    if not telemetry.enabled:
+        telemetry = create_telemetry()  # /metrics should never be empty
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 0:
+        raise SystemExit(f"repro: --workers must be >= 0, got {workers}")
+    config = PipelineConfig(
+        faults=FAULT_PLANS[args.faults] if args.faults else None,
+        study_days=args.study_days)
+    service = StudyService(
+        seed=args.seed, scale=SCALES[args.scale], config=config,
+        shards=workers or 1, telemetry=telemetry,
+        checkpoint_dir=args.checkpoint_dir)
+    try:
+        server = build_server(service, host=args.host, port=args.port)
+    except OSError as exc:
+        raise SystemExit(f"repro serve: cannot bind "
+                         f"{args.host}:{args.port}: {exc}")
+    host, port = server.server_address[:2]
+
+    def announce():
+        # called once signal handlers are live: a client that reacts to
+        # this line can already SIGTERM us safely
+        print(f"# serving study (seed={args.seed}, scale={args.scale}, "
+              f"day {service.runner.next_day}/{service.runner.total_days}"
+              f"{', resumed' if service.resumed else ''}) "
+              f"on http://{host}:{port}", file=out, flush=True)
+
+    serve_forever(server, service, auto_ingest=args.auto_ingest,
+                  ready=announce)
+    print(f"# shutdown at day {service.runner.next_day}"
+          f"/{service.runner.total_days}"
+          + (", checkpoint flushed" if args.checkpoint_dir else ""),
+          file=out)
+    _finish_telemetry(out, telemetry, telemetry_path)
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    """One request against a running service; JSON (or rule text) out."""
+    import json
+
+    from .service import ServiceError, StudyClient
+
+    client = StudyClient(args.url, timeout=args.timeout)
+    try:
+        if args.what == "rules":
+            technology = None if args.tech == "all" else args.tech
+            print(client.rules(technology), file=out, end="")
+            return 0
+        if args.what == "metrics":
+            print(client.metrics(), file=out, end="")
+            return 0
+        if args.what == "profile":
+            if not args.sha256:
+                raise SystemExit("repro query: 'profile' needs --sha256")
+            document = client.profile(args.sha256)
+        elif args.what == "profiles":
+            document = client.profiles(day=args.day, limit=args.limit)
+        elif args.what == "ingest":
+            days = args.days
+            if days != "all":
+                try:
+                    days = int(days)
+                except ValueError:
+                    raise SystemExit(
+                        f"repro query: --days must be an integer or "
+                        f"'all', got {args.days!r}")
+            document = client.ingest(days)
+        else:
+            document = {
+                "status": client.status,
+                "digest": client.digest,
+                "health": client.healthz,
+                "c2": client.c2s,
+                "lifespans": client.lifespans,
+                "ddos": client.ddos_summary,
+                "exploits": client.exploits_summary,
+                "finalize": client.finalize,
+            }[args.what]()
+        print(json.dumps(document, indent=2), file=out)
+        return 0
+    except ServiceError as exc:
+        raise SystemExit(f"repro query: {exc}")
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -434,8 +621,20 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "rules": _cmd_rules,
         "pcap": _cmd_pcap,
         "obs": _cmd_obs,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
     }
-    return commands[args.command](args, out)
+    try:
+        return commands[args.command](args, out)
+    except BrokenPipeError:
+        # downstream closed the pipe early (grep -q, head); that is its
+        # prerogative, not an error.  Point stdout at /dev/null so the
+        # interpreter's exit flush does not raise a second time.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

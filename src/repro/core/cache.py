@@ -30,7 +30,8 @@ from .datasets import Datasets
 from .pipeline import PipelineConfig
 
 __all__ = ["CachedStudy", "StudyCache", "dataset_digest",
-           "code_fingerprint", "study_fingerprint"]
+           "code_fingerprint", "study_fingerprint",
+           "pack_entry", "unpack_entry", "write_atomic"]
 
 #: entry file layout: magic + 1-byte format version + payload sha256
 _MAGIC = b"RPSC"
@@ -122,6 +123,60 @@ def study_fingerprint(seed: int, scale, config: PipelineConfig | None = None,
     return hashlib.sha256(text.encode()).hexdigest()
 
 
+# -- self-verifying entry framing --------------------------------------------
+#
+# Shared by the study cache and the service checkpoint store: one
+# serialized object per file, framed as magic + format version + payload
+# sha256 + pickle, written atomically.  Readers treat any anomaly as
+# "entry does not exist".
+
+
+def pack_entry(entry: object) -> bytes:
+    """Frame one picklable object as a self-verifying blob."""
+    payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+    return (_MAGIC + bytes([_FORMAT_VERSION])
+            + hashlib.sha256(payload).digest() + payload)
+
+
+def unpack_entry(blob: bytes, expect: type = object):
+    """Verify and unpickle a :func:`pack_entry` blob.
+
+    Returns ``None`` on *any* anomaly — bad magic, version skew,
+    checksum mismatch, unpicklable payload, or a payload that is not an
+    ``expect`` instance.
+    """
+    if len(blob) <= _HEADER_LEN or not blob.startswith(_MAGIC):
+        return None
+    if blob[len(_MAGIC)] != _FORMAT_VERSION:
+        return None
+    checksum = blob[len(_MAGIC) + 1:_HEADER_LEN]
+    payload = blob[_HEADER_LEN:]
+    if hashlib.sha256(payload).digest() != checksum:
+        return None
+    try:
+        entry = pickle.loads(payload)
+    except Exception:
+        return None
+    return entry if isinstance(entry, expect) else None
+
+
+def write_atomic(path: str, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` via temp file + ``os.replace``."""
+    root = os.path.dirname(path) or "."
+    os.makedirs(root, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=root, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 # -- the cache ---------------------------------------------------------------
 
 
@@ -193,36 +248,10 @@ class StudyCache:
 
     @staticmethod
     def _verify(blob: bytes) -> CachedStudy | None:
-        if len(blob) <= _HEADER_LEN or not blob.startswith(_MAGIC):
-            return None
-        if blob[len(_MAGIC)] != _FORMAT_VERSION:
-            return None
-        checksum = blob[len(_MAGIC) + 1:_HEADER_LEN]
-        payload = blob[_HEADER_LEN:]
-        if hashlib.sha256(payload).digest() != checksum:
-            return None
-        try:
-            entry = pickle.loads(payload)
-        except Exception:
-            return None
-        return entry if isinstance(entry, CachedStudy) else None
+        return unpack_entry(blob, CachedStudy)
 
     def put(self, fingerprint: str, entry: CachedStudy) -> str:
         """Atomically persist ``entry``; returns the entry path."""
-        payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
-        blob = (_MAGIC + bytes([_FORMAT_VERSION])
-                + hashlib.sha256(payload).digest() + payload)
-        os.makedirs(self.root, exist_ok=True)
         path = self.path_for(fingerprint)
-        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(blob)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        write_atomic(path, pack_entry(entry))
         return path

@@ -132,6 +132,10 @@ class Datasets:
     d_ddos: list[DdosRecord] = field(default_factory=list)
     #: (endpoint, command) -> record, so ddos_record dedup is O(1)
     _ddos_index: dict = field(default_factory=dict, compare=False, repr=False)
+    #: sha256 -> profile, so per-binary lookup is O(1) (see
+    #: :meth:`profile_by_sha256`); rebuilt lazily after merges/appends
+    _profile_index: dict = field(default_factory=dict, compare=False,
+                                 repr=False)
     #: shard indexes missing from a parallel merge (see ShardedStudyRunner);
     #: non-empty means *partial* data — excluded from equality on purpose,
     #: it describes how the value was produced, not the value itself
@@ -142,6 +146,21 @@ class Datasets:
     @property
     def d_samples(self) -> list[BinaryNetworkProfile]:
         return self.profiles
+
+    def profile_by_sha256(self, sha256: str) -> BinaryNetworkProfile | None:
+        """O(1) profile lookup by binary hash.
+
+        The study deduplicates by sha256 (one profile per hash), so the
+        index is a plain dict; like ``_ddos_index`` it is rebuilt lazily
+        whenever its size disagrees with the profile list (appends,
+        merges, cache restores).
+        """
+        index = self._profile_index
+        if len(index) != len(self.profiles):
+            index = self._profile_index = {
+                p.sha256: p for p in self.profiles
+            }
+        return index.get(sha256)
 
     # -- assembly helpers used by the pipeline ------------------------------
 

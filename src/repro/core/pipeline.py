@@ -74,6 +74,19 @@ class PipelineConfig:
     sandbox_retry: RetryPolicy = SANDBOX_RETRY
 
 
+def total_study_days(config: PipelineConfig | None = None) -> int:
+    """Number of daily iterations a study runs for this config.
+
+    The default covers the active weeks plus the reporting tail:
+    campaign samples keep surfacing for a few weeks after their C2's
+    week, and feeds add up to a day of latency.
+    """
+    config = config or PipelineConfig()
+    if config.study_days is not None:
+        return config.study_days
+    return ACTIVE_WEEKS * 7 + 60
+
+
 class MalNet:
     """Orchestrates the daily measurement over a generated world."""
 
@@ -197,17 +210,44 @@ class MalNet:
 
     def run(self) -> Datasets:
         """Run the full daily study and the final TI re-query."""
-        total_days = self.config.study_days
-        if total_days is None:
-            # active weeks plus the reporting tail: campaign samples keep
-            # surfacing for a few weeks after their C2's week, and feeds
-            # add up to a day of latency
-            total_days = ACTIVE_WEEKS * 7 + 60
-        for day in range(total_days):
+        for day in range(total_study_days(self.config)):
             self.run_day(day)
+        return self.complete()
+
+    def complete(self) -> Datasets:
+        """Finish a day-by-day run: the TI re-query plus telemetry drain.
+
+        Separated from :meth:`run` so day-granular execution (see
+        :class:`~repro.core.study.DayRunner`) performs the exact same
+        closing steps the monolithic loop does.
+        """
         self.recheck_threat_intel()
         self._drain_alloc_stats()
         return self.datasets
+
+    def state_snapshot(self) -> dict:
+        """Picklable cross-day pipeline state for checkpointing.
+
+        These three items are the *only* state a study day leaves behind
+        that later days read: the dedup set, the per-feed backfill
+        cursors, and the accumulated datasets.  Everything else consumed
+        by a sample's analysis is re-derived from ``(world seed,
+        sha256)`` on the spot (:meth:`_reseed_for`), which is the same
+        property the sharded runner relies on — so a fresh ``MalNet``
+        on a regenerated world plus this snapshot continues a study
+        byte-identically.
+        """
+        return {
+            "seen_hashes": set(self._seen_hashes),
+            "feed_cursor": dict(self._feed_cursor),
+            "datasets": self.datasets,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`state_snapshot` from an earlier (partial) run."""
+        self._seen_hashes = set(state["seen_hashes"])
+        self._feed_cursor = dict(state["feed_cursor"])
+        self.datasets = state["datasets"]
 
     def run_day(self, day: int) -> list[BinaryNetworkProfile]:
         """Collect and analyze everything published on one study day."""

@@ -21,7 +21,7 @@ from ..world.generator import World
 from .cache import CachedStudy, StudyCache, code_fingerprint, study_fingerprint
 from .datasets import Datasets
 from .parallel import ShardedStudyRunner
-from .pipeline import MalNet, PipelineConfig
+from .pipeline import MalNet, PipelineConfig, total_study_days
 from .probing import ProbingCampaign
 
 #: parallel-width ceiling for ``workers="auto"`` — the envelope the
@@ -80,6 +80,235 @@ def run_probing(world: World, malnet: MalNet,
     campaign.run()
     malnet.datasets.d_pc2.extend(campaign.observations)
     return campaign
+
+
+def _build_campaign(world: World, malnet: MalNet, telemetry: Telemetry,
+                    observations, discovered) -> ProbingCampaign:
+    """Reconstruct a finished probing campaign from its saved results.
+
+    The observations list and discovery set are adopted verbatim, so the
+    campaign's derived views (``response_matrix``, repeat-response rate)
+    are the ones a fresh run would compute.
+    """
+    campaign = ProbingCampaign(
+        internet=world.internet,
+        sandbox=malnet.sandbox,
+        subnets=list(world.truth.probe_subnets),
+        sample_binaries=[],
+        start=world.probe_start,
+        days=world.scale.probe_days,
+        telemetry=telemetry,
+        world_seed=world.seed,
+    )
+    campaign.observations = list(observations)
+    campaign.discovered = set(discovered)
+    return campaign
+
+
+class DayRunner:
+    """Day-granular, resumable execution of one study.
+
+    The daily pipeline already advances in day units
+    (:meth:`MalNet.run_day`); this runner owns the loop so execution can
+    stop between any two days, snapshot the cross-day state (dedup set,
+    feed cursors, datasets — :meth:`MalNet.state_snapshot`), and
+    continue later: in the same process, or after a full restart via
+    :class:`repro.service.state.CheckpointStore`.  The invariant carried
+    over from the sharded runner — per-sample analysis is a pure
+    function of ``(world seed, sha256)`` — is exactly what makes the
+    resumed run byte-identical to an uninterrupted one.
+
+    ``shards=N`` partitions samples by sha256 across N in-process
+    pipelines (each against its own regenerated world, the same model a
+    pool worker uses) and merges with :meth:`Datasets.merge`; results
+    are byte-identical to the serial run for any N.  A separate *front*
+    pipeline — a ``MalNet`` that never analyzes samples — hosts the
+    merged datasets, the TI re-query view, and the probing campaign,
+    mirroring the parent process of ``run_study(workers=N)``.
+
+    Lifecycle::
+
+        runner = DayRunner(seed=7, scale=SMOKE_SCALE)
+        while not runner.pipeline_done:
+            runner.run_next_day()          # one feed-day increment
+        runner.complete_pipeline()          # TI re-query + shard merge
+        campaign = runner.run_probing_phase()
+        datasets = runner.datasets          # == run_study(...)[2]
+    """
+
+    def __init__(self, world: World | None = None,
+                 config: PipelineConfig | None = None,
+                 telemetry: Telemetry | None = None,
+                 shards: int = 1,
+                 seed: int | None = None, scale=None):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if world is None:
+            if seed is None or scale is None:
+                raise ValueError(
+                    "DayRunner needs a generated world or (seed, scale)")
+            from ..world import generate_world
+
+            world = generate_world(seed=seed, scale=scale)
+        if shards > 1 and world.seed is None:
+            raise ValueError(
+                "sharded day-granular execution needs a seeded world: "
+                "shard pipelines regenerate it from (seed, scale)")
+        self.world = world
+        self.config = config or PipelineConfig()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.shards = shards
+        if shards == 1:
+            self.malnets = [MalNet(world, config, telemetry=self.telemetry)]
+            self.front = self.malnets[0]
+        else:
+            from ..world import generate_world
+
+            self.malnets = []
+            for index in range(shards):
+                shard_world = generate_world(seed=world.seed,
+                                             scale=world.scale)
+                shard_config = dataclasses.replace(
+                    self.config, shard_index=index, shard_count=shards)
+                self.malnets.append(
+                    MalNet(shard_world, shard_config,
+                           telemetry=self.telemetry))
+            # the front pipeline plays the parent process of the sharded
+            # runner: it analyzes nothing, hosts the merged datasets, and
+            # runs the probing campaign against the caller's world
+            self.front = MalNet(world, config, telemetry=self.telemetry)
+        self.total_days = total_study_days(self.config)
+        #: first study day not yet executed (== count of completed days)
+        self.next_day = 0
+        self.campaign: ProbingCampaign | None = None
+        self._completed = False
+        self._merged_cache: tuple[int, Datasets] | None = None
+
+    # -- progress ----------------------------------------------------------
+
+    @property
+    def pipeline_done(self) -> bool:
+        return self.next_day >= self.total_days
+
+    @property
+    def finalized(self) -> bool:
+        """True once the TI re-query, merge, and probing have all run."""
+        return self.campaign is not None
+
+    @property
+    def datasets(self) -> Datasets:
+        """Current merged view of everything ingested so far.
+
+        After :meth:`complete_pipeline` this is *the* study output; at a
+        day boundary mid-study it is the exact prefix a monolithic run
+        would have accumulated by that day.
+        """
+        if self.shards == 1 or self._completed:
+            return self.front.datasets
+        cached = self._merged_cache
+        if cached is not None and cached[0] == self.next_day:
+            return cached[1]
+        merged = Datasets.merge([m.datasets for m in self.malnets])
+        self._merged_cache = (self.next_day, merged)
+        return merged
+
+    # -- execution ---------------------------------------------------------
+
+    def run_next_day(self) -> dict:
+        """Execute one feed-day across every shard pipeline."""
+        if self.pipeline_done:
+            raise RuntimeError(
+                f"all {self.total_days} study days already ingested")
+        day = self.next_day
+        profiled = 0
+        for malnet in self.malnets:
+            profiled += len(malnet.run_day(day))
+        self.next_day = day + 1
+        return {"day": day, "profiled": profiled,
+                "remaining": self.total_days - self.next_day}
+
+    def run_remaining_days(self) -> None:
+        while not self.pipeline_done:
+            self.run_next_day()
+
+    def complete_pipeline(self) -> Datasets:
+        """Close the day loop: TI re-query per shard, then the merge."""
+        if not self.pipeline_done:
+            raise RuntimeError(
+                f"{self.total_days - self.next_day} study days still "
+                "pending; ingest them before completing the pipeline")
+        if self._completed:
+            return self.front.datasets
+        for malnet in self.malnets:
+            malnet.complete()
+        if self.shards > 1:
+            self.front.datasets = Datasets.merge(
+                [m.datasets for m in self.malnets])
+        self._completed = True
+        return self.front.datasets
+
+    def run_probing_phase(self) -> ProbingCampaign:
+        """The D-PC2 campaign; extends the merged datasets' ``d_pc2``."""
+        if self.campaign is None:
+            if not self._completed:
+                self.complete_pipeline()
+            self.campaign = run_probing(self.front.world, self.front,
+                                        self.telemetry)
+        return self.campaign
+
+    def finalize(self) -> ProbingCampaign:
+        """Convenience: :meth:`complete_pipeline` + probing, with the
+        same study-phase spans the batch runner emits."""
+        if self.campaign is None:
+            with self.telemetry.tracer.span("study.pipeline"):
+                self.complete_pipeline()
+            with self.telemetry.tracer.span("study.probing"):
+                self.run_probing_phase()
+        return self.campaign
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Picklable snapshot of everything a restart cannot re-derive.
+
+        World content is *not* included — a restarted runner regenerates
+        it from ``(seed, scale)`` — only the cross-day pipeline state of
+        every shard, plus the finalized results once probing ran.
+        """
+        state = {
+            "shards": self.shards,
+            "next_day": self.next_day,
+            "total_days": self.total_days,
+            "shard_states": [m.state_snapshot() for m in self.malnets],
+            "completed": self._completed,
+        }
+        if self.campaign is not None:
+            state["front_datasets"] = self.front.datasets
+            state["observations"] = self.campaign.observations
+            state["discovered"] = self.campaign.discovered
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`state_snapshot`; the runner must have been
+        constructed with the same (seed, scale, config, shards)."""
+        if state["shards"] != self.shards:
+            raise ValueError(
+                f"checkpoint was taken with shards={state['shards']}, "
+                f"this runner has shards={self.shards}")
+        if state["total_days"] != self.total_days:
+            raise ValueError(
+                f"checkpoint covers {state['total_days']} study days, "
+                f"this runner's config asks for {self.total_days}")
+        for malnet, shard_state in zip(self.malnets, state["shard_states"]):
+            malnet.restore_state(shard_state)
+        self.next_day = state["next_day"]
+        self._completed = state["completed"]
+        self._merged_cache = None
+        if "observations" in state:
+            self.front.datasets = state["front_datasets"]
+            self.campaign = _build_campaign(
+                self.front.world, self.front, self.telemetry,
+                state["observations"], state["discovered"])
 
 
 def _run_parallel(
@@ -228,18 +457,8 @@ def _restore_study(
     """
     malnet = MalNet(world, config, telemetry=telemetry)
     malnet.datasets = entry.datasets
-    campaign = ProbingCampaign(
-        internet=world.internet,
-        sandbox=malnet.sandbox,
-        subnets=list(world.truth.probe_subnets),
-        sample_binaries=[],
-        start=world.probe_start,
-        days=world.scale.probe_days,
-        telemetry=telemetry,
-        world_seed=world.seed,
-    )
-    campaign.observations = list(entry.observations)
-    campaign.discovered = set(entry.discovered)
+    campaign = _build_campaign(world, malnet, telemetry,
+                               entry.observations, entry.discovered)
     return malnet, campaign, malnet.datasets
 
 
@@ -290,7 +509,12 @@ def run_study(
             telemetry.events.emit(
                 "study.complete", sizes=dict(result[2].summary()))
             return result
-    malnet = MalNet(world, config, telemetry=telemetry)
+    runner = None
+    if workers:
+        malnet = MalNet(world, config, telemetry=telemetry)
+    else:
+        runner = DayRunner(world=world, config=config, telemetry=telemetry)
+        malnet = runner.front
     telemetry.events.emit("study.start", scale=world.scale.sample_fraction,
                           workers=workers or 0)
     run_info = None
@@ -300,9 +524,10 @@ def run_study(
                                            max_redispatch=max_redispatch)
     else:
         with telemetry.tracer.span("study.pipeline"):
-            malnet.run()
+            runner.run_remaining_days()
+            runner.complete_pipeline()
         with telemetry.tracer.span("study.probing"):
-            campaign = run_probing(world, malnet, telemetry)
+            campaign = runner.run_probing_phase()
     if fingerprint is not None and not malnet.datasets.failed_shards:
         cache.put(fingerprint, CachedStudy(
             datasets=malnet.datasets,

@@ -1,0 +1,297 @@
+"""The study daemon: service facade, HTTP adapter, and lifecycle.
+
+:class:`StudyService` is the single-writer owner of one
+:class:`~repro.core.study.DayRunner`.  Every mutation (ingest, finalize)
+and every dataset read goes through one re-entrant lock, so the
+threading HTTP server can fan requests out without ever observing a
+half-ingested day; after each completed day the service checkpoints
+through :class:`~repro.service.state.CheckpointStore`, so a SIGTERM —
+or a power cut — between any two days loses nothing.
+
+:func:`build_server` binds a ``ThreadingHTTPServer`` whose handler is a
+thin adapter over :class:`~repro.service.handlers.ServiceApi`;
+:func:`serve_forever` adds the daemon lifecycle: an optional simulated
+ingest clock, SIGTERM/SIGINT-triggered graceful shutdown, and a final
+checkpoint flush on the way out.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from ..core.cache import dataset_digest, study_fingerprint
+from ..core.pipeline import PipelineConfig
+from ..core.study import DayRunner
+from ..obs import NULL_TELEMETRY
+from ..world import generate_world
+from .handlers import ServiceApi
+from .state import CheckpointStore, StudyCheckpoint
+
+__all__ = ["StudyService", "build_server", "serve_forever"]
+
+
+class StudyService:
+    """One live study: a locked DayRunner plus checkpoint persistence.
+
+    Construction resumes automatically: if ``checkpoint_dir`` holds a
+    valid checkpoint for this study's fingerprint, its state is adopted
+    and ingestion continues from the first unfinished day (``resumed``
+    is True).  A checkpoint whose shape no longer matches (different
+    shard count, different study length) is discarded with a warning
+    event and the study restarts from day 0 — never a crash, never a
+    silently wrong result.
+    """
+
+    def __init__(self, seed: int, scale, config: PipelineConfig | None = None,
+                 shards: int = 1, telemetry=None,
+                 checkpoint_dir: str | None = None):
+        self.seed = seed
+        self.scale = scale
+        self.config = config or PipelineConfig()
+        self.shards = shards
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.lock = threading.RLock()
+        self.fingerprint = study_fingerprint(seed, scale, self.config)
+        self.store = (CheckpointStore(checkpoint_dir)
+                      if checkpoint_dir else None)
+        self.resumed = False
+        self._days_ingested = self.telemetry.metrics.counter(
+            "service_days_ingested_total",
+            "feed days executed by this service process")
+        self._checkpoints = self.telemetry.metrics.counter(
+            "service_checkpoints_total", "checkpoints written")
+        world = generate_world(seed=seed, scale=scale)
+        self.runner = DayRunner(world=world, config=self.config,
+                                telemetry=self.telemetry, shards=shards)
+        self._maybe_resume()
+        self.telemetry.events.emit(
+            "service.start", seed=seed, shards=shards,
+            resumed=self.resumed, next_day=self.runner.next_day,
+            total_days=self.runner.total_days)
+
+    def _maybe_resume(self) -> None:
+        if self.store is None:
+            return
+        checkpoint = self.store.load(self.fingerprint)
+        if checkpoint is None:
+            return
+        try:
+            self.runner.restore_state(checkpoint.state)
+        except ValueError as exc:
+            # same study, incompatible execution shape (e.g. the shard
+            # count changed) — restart from day 0 rather than guess
+            self.store.rejected += 1
+            self.telemetry.events.emit(
+                "service.checkpoint_discarded", level="warning",
+                reason=str(exc))
+            return
+        self.resumed = True
+
+    # -- progress ----------------------------------------------------------
+
+    @property
+    def pipeline_done(self) -> bool:
+        return self.runner.pipeline_done
+
+    @property
+    def finalized(self) -> bool:
+        return self.runner.finalized
+
+    @property
+    def remaining_days(self) -> int:
+        return self.runner.total_days - self.runner.next_day
+
+    def status(self) -> dict:
+        with self.lock:
+            runner = self.runner
+            return {
+                "seed": self.seed,
+                "sample_fraction": self.scale.sample_fraction,
+                "shards": self.shards,
+                "fingerprint": self.fingerprint,
+                "next_day": runner.next_day,
+                "total_days": runner.total_days,
+                "pipeline_done": runner.pipeline_done,
+                "finalized": runner.finalized,
+                "resumed": self.resumed,
+                "checkpointing": self.store is not None,
+                "datasets": runner.datasets.summary(),
+            }
+
+    def datasets(self):
+        with self.lock:
+            return self.runner.datasets
+
+    def digest(self) -> str:
+        with self.lock:
+            return dataset_digest(self.runner.datasets)
+
+    # -- mutation ----------------------------------------------------------
+
+    def ingest_days(self, days: int | None = 1) -> dict:
+        """Execute up to ``days`` more feed days (None = all remaining),
+        checkpointing after each; finalizes when the last day lands."""
+        ingested = 0
+        last = None
+        with self.lock:
+            while not self.runner.pipeline_done and (
+                    days is None or ingested < days):
+                last = self.runner.run_next_day()
+                ingested += 1
+                self._days_ingested.inc()
+                self.telemetry.events.emit(
+                    "service.day_ingested", level="debug", **last)
+                self._checkpoint()
+            if self.runner.pipeline_done and not self.runner.finalized:
+                self._finalize_locked()
+            return {
+                "ingested": ingested,
+                "last_day": None if last is None else last["day"],
+                "next_day": self.runner.next_day,
+                "total_days": self.runner.total_days,
+                "pipeline_done": self.runner.pipeline_done,
+                "finalized": self.runner.finalized,
+            }
+
+    def finalize(self) -> dict:
+        """TI re-query + shard merge + probing campaign (idempotent)."""
+        with self.lock:
+            already = self.runner.finalized
+            self._finalize_locked()
+            return {
+                "finalized": True,
+                "already_finalized": already,
+                "dataset_digest": dataset_digest(self.runner.datasets),
+            }
+
+    def _finalize_locked(self) -> None:
+        if not self.runner.finalized:
+            self.runner.finalize()
+            self._checkpoint()
+            self.telemetry.events.emit("service.finalized")
+
+    # -- persistence -------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        if self.store is None:
+            return
+        runner = self.runner
+        self.store.save(StudyCheckpoint(
+            fingerprint=self.fingerprint, shards=self.shards,
+            next_day=runner.next_day, total_days=runner.total_days,
+            finalized=runner.finalized, state=runner.state_snapshot()))
+        self._checkpoints.inc()
+
+    def flush(self) -> None:
+        """Write a checkpoint now (shutdown path)."""
+        with self.lock:
+            self._checkpoint()
+
+
+# -- HTTP adapter ------------------------------------------------------------
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Socket plumbing around :meth:`ServiceApi.handle` — nothing more."""
+
+    api: ServiceApi = None  # set by build_server on the subclass
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self) -> None:
+        split = urlsplit(self.path)
+        query = dict(parse_qsl(split.query))
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        status, content_type, payload = self.api.handle(
+            self.command, split.path, query, body)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = _respond
+    do_POST = _respond
+
+    def log_message(self, format, *args):  # quiet: events go to telemetry
+        pass
+
+
+def build_server(service: StudyService, host: str = "127.0.0.1",
+                 port: int = 0) -> ThreadingHTTPServer:
+    """A bound (not yet serving) HTTP server over ``service``.
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    ``server.server_address[1]``.
+    """
+    api = ServiceApi(service)
+    handler = type("BoundRequestHandler", (_RequestHandler,), {"api": api})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+# -- daemon lifecycle --------------------------------------------------------
+
+
+class _IngestClock(threading.Thread):
+    """Simulated feed clock: one day per tick until the study finishes."""
+
+    def __init__(self, service: StudyService, interval: float):
+        super().__init__(name="ingest-clock", daemon=True)
+        self.service = service
+        self.interval = interval
+        self.stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self.stop_event.wait(self.interval):
+            if self.service.pipeline_done and self.service.finalized:
+                return
+            self.service.ingest_days(1)
+
+    def stop(self) -> None:
+        self.stop_event.set()
+
+
+def serve_forever(server: ThreadingHTTPServer, service: StudyService,
+                  auto_ingest: float | None = None,
+                  ready=None) -> None:
+    """Run the daemon until SIGTERM/SIGINT, then shut down gracefully.
+
+    Graceful means: stop the ingest clock, let in-flight requests
+    finish, and flush a final checkpoint — so ``kill -TERM`` followed by
+    a restart resumes from the last *completed* day with nothing lost.
+    Signal handlers are installed only when running on the main thread
+    (tests drive shutdown by calling ``server.shutdown()`` directly);
+    ``ready`` is called once they are, so a caller can announce the
+    address only when a SIGTERM is already survivable.
+    """
+    clock = None
+    if auto_ingest is not None:
+        clock = _IngestClock(service, auto_ingest)
+        clock.start()
+
+    def _shutdown(signum, frame):
+        service.telemetry.events.emit("service.signal", signum=signum)
+        # shutdown() blocks until serve_forever returns; do it off-thread
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if threading.current_thread() is threading.main_thread():
+        import signal
+
+        signal.signal(signal.SIGTERM, _shutdown)
+        signal.signal(signal.SIGINT, _shutdown)
+    if ready is not None:
+        ready()
+    try:
+        server.serve_forever()
+    finally:
+        if clock is not None:
+            clock.stop()
+            clock.join(timeout=5.0)
+        server.server_close()
+        service.flush()
+        service.telemetry.events.emit("service.stopped",
+                                      next_day=service.runner.next_day)

@@ -152,3 +152,98 @@ class TestStatsCommand:
         counters = lambda text: [l for l in text.splitlines()
                                  if l.startswith(("samples_", "c2_", "ddos_"))]
         assert counters(parallel) == counters(serial)
+
+
+class TestObsErrorHandling:
+    """Bad artifact paths must produce a clear message, not a traceback."""
+
+    def test_missing_directory(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("obs", "top", "/no/such/artifact/dir")
+        assert "not a directory" in str(excinfo.value)
+        assert "--telemetry" in str(excinfo.value)
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("obs", "top", str(tmp_path))
+        assert "is empty" in str(excinfo.value)
+
+    def test_corrupt_snapshot(self, tmp_path):
+        (tmp_path / "snapshot.json").write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("obs", "top", str(tmp_path))
+        assert "corrupt or incomplete artifact" in str(excinfo.value)
+
+    def test_diff_checks_both_directories(self, tmp_path):
+        good = tmp_path / "a"
+        good.mkdir()
+        (good / "snapshot.json").write_text("{}")
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("obs", "diff", str(good), str(tmp_path / "missing"))
+        assert "not a directory" in str(excinfo.value)
+
+
+class TestSamplesReport:
+    def test_renders_per_c2_sample_table(self):
+        code, text = run_cli("--scale", "smoke", "report",
+                             "--what", "samples")
+        assert code == 0
+        assert "Samples per C2" in text
+        assert "sha256" in text and "family" in text
+
+
+class TestServeAndQueryCommands:
+    @pytest.fixture(scope="class")
+    def daemon_url(self):
+        import threading
+
+        from repro.core.pipeline import PipelineConfig
+        from repro.service import StudyService, build_server, serve_forever
+        from repro.world import StudyScale
+
+        scale = StudyScale(sample_fraction=0.05, probe_days=2,
+                           observe_duration=1800.0,
+                           observe_poll_interval=300.0, scan_budget=120)
+        service = StudyService(seed=11, scale=scale,
+                               config=PipelineConfig(study_days=60))
+        server = build_server(service)
+        thread = threading.Thread(target=serve_forever,
+                                  args=(server, service), daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+        server.shutdown()
+        thread.join(timeout=10)
+
+    def test_ingest_then_status(self, daemon_url):
+        code, text = run_cli("query", daemon_url, "ingest", "--days", "all")
+        assert code == 0
+        assert '"finalized": true' in text
+        code, text = run_cli("query", daemon_url, "status")
+        assert code == 0
+        assert '"pipeline_done": true' in text
+
+    def test_rules_are_raw_text(self, daemon_url):
+        code, text = run_cli("query", daemon_url, "rules",
+                             "--tech", "iptables")
+        assert code == 0
+        assert text == "" or text.lstrip().startswith("-A ")
+
+    def test_profile_requires_sha256(self, daemon_url):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("query", daemon_url, "profile")
+        assert "--sha256" in str(excinfo.value)
+
+    def test_unknown_hash_is_a_clean_error(self, daemon_url):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("query", daemon_url, "profile", "--sha256", "ab" * 32)
+        assert "404" in str(excinfo.value)
+
+    def test_unreachable_service_is_a_clean_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("query", "http://127.0.0.1:9", "health")
+        assert "cannot reach" in str(excinfo.value)
+
+    def test_serve_rejects_negative_workers(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("serve", "--workers", "-2", "--port", "0")
+        assert "--workers" in str(excinfo.value)

@@ -1,0 +1,239 @@
+"""The query API end-to-end: a real daemon on an ephemeral port.
+
+One module-scoped service ingests a full smoke study through the HTTP
+surface itself; every test then exercises a route through the stdlib
+client — JSON schemas, the 404 contract, rule-feed content type, a
+parseable ``/metrics`` scrape, and digest equality against a batch
+``run_study`` of the same world.
+"""
+
+import json
+import re
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.cache import dataset_digest
+from repro.core.study import run_study
+from repro.obs import create_telemetry
+from repro.service import (ServiceError, StudyClient, StudyService,
+                           build_server, serve_forever)
+from repro.world import StudyScale, generate_world
+
+SCALE = StudyScale(sample_fraction=0.05, probe_days=4,
+                   observe_duration=1800.0, observe_poll_interval=300.0,
+                   scan_budget=120)
+SEED = 20220322
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    service = StudyService(seed=SEED, scale=SCALE,
+                           telemetry=create_telemetry())
+    server = build_server(service)  # port 0: ephemeral
+    thread = threading.Thread(target=serve_forever, args=(server, service),
+                              daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    client = StudyClient(f"http://127.0.0.1:{port}")
+    client.ingest("all")  # the whole study arrives over the API
+    yield service, client
+    server.shutdown()
+    thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def batch_datasets():
+    world = generate_world(seed=SEED, scale=SCALE)
+    _malnet, _campaign, datasets = run_study(world)
+    return datasets
+
+
+# -- the service == batch oracle ---------------------------------------------
+
+
+def test_digest_matches_batch_run_study(daemon, batch_datasets):
+    _service, client = daemon
+    document = client.digest()
+    assert document["finalized"] is True
+    assert document["dataset_digest"] == dataset_digest(batch_datasets)
+
+
+def test_status_document(daemon):
+    _service, client = daemon
+    status = client.status()
+    assert status["seed"] == SEED
+    assert status["pipeline_done"] and status["finalized"]
+    assert status["next_day"] == status["total_days"]
+    assert re.fullmatch(r"[0-9a-f]{64}", status["fingerprint"])
+    assert set(status["datasets"]) == {
+        "D-Samples", "D-C2s", "D-PC2", "D-Exploits", "D-DDOS"}
+
+
+def test_healthz(daemon):
+    _service, client = daemon
+    assert client.healthz() == {"ok": True}
+
+
+# -- profiles -----------------------------------------------------------------
+
+
+def test_profile_lookup_by_sha256(daemon, batch_datasets):
+    _service, client = daemon
+    profile = batch_datasets.profiles[0]
+    document = client.profile(profile.sha256)
+    assert document["sha256"] == profile.sha256
+    assert document["day"] == profile.day
+    assert document["family_label"] == profile.family_label
+    assert len(document["exploits"]) == len(profile.exploits)
+    for observation, doc in zip(profile.exploits, document["exploits"]):
+        assert doc["payload_hex"] == observation.payload.hex()
+    for doc in document["attacks"]:
+        assert re.fullmatch(r"\d+\.\d+\.\d+\.\d+", doc["target_ip"])
+
+
+def test_unknown_sha256_is_404(daemon):
+    _service, client = daemon
+    with pytest.raises(ServiceError) as excinfo:
+        client.profile("f" * 64)
+    assert excinfo.value.status == 404
+
+
+def test_profiles_listing_filters(daemon, batch_datasets):
+    _service, client = daemon
+    listing = client.profiles()
+    assert listing["total"] == len(batch_datasets.profiles)
+    day = batch_datasets.profiles[0].day
+    per_day = client.profiles(day=day)
+    assert per_day["total"] == sum(
+        1 for p in batch_datasets.profiles if p.day == day)
+    limited = client.profiles(limit=2)
+    assert limited["returned"] == min(2, limited["total"])
+
+
+# -- analysis routes ----------------------------------------------------------
+
+
+def test_c2_listing(daemon, batch_datasets):
+    _service, client = daemon
+    listing = client.c2s()
+    assert listing["total"] == len(batch_datasets.d_c2s)
+    endpoints = {doc["endpoint"] for doc in listing["c2s"]}
+    assert endpoints == set(batch_datasets.d_c2s)
+
+
+def test_lifespan_cdfs(daemon):
+    _service, client = daemon
+    cdfs = client.lifespans()
+    assert set(cdfs) == {"ip", "dns"}
+    assert cdfs["ip"], "smoke study should observe IP C2 lifespans"
+    fractions = [point["fraction"] for point in cdfs["ip"]]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_ddos_summary(daemon, batch_datasets):
+    _service, client = daemon
+    summary = client.ddos_summary()
+    assert summary["total_commands"] == len(batch_datasets.d_ddos)
+    distribution = summary["protocol_distribution"]
+    assert sum(distribution.values()) == pytest.approx(1.0)
+    for doc in summary["commands"]:
+        assert doc["target_protocol"] in {"UDP", "TCP", "DNS", "ICMP"}
+
+
+def test_exploits_summary(daemon, batch_datasets):
+    _service, client = daemon
+    summary = client.exploits_summary()
+    assert summary["exploited_samples"] == \
+        batch_datasets.exploit_sample_count()
+    for row in summary["vulnerabilities"]:
+        assert row["sample_count"] >= 1
+        assert row["vuln_key"]
+
+
+# -- text routes --------------------------------------------------------------
+
+
+def test_rule_feed_is_plain_text(daemon):
+    service, client = daemon
+    content_type, body = client._request("GET", "/rules",
+                                         {"technology": "iptables"})
+    assert content_type.startswith("text/plain")
+    for line in body.decode().strip().splitlines():
+        assert line.startswith("-A "), line
+
+
+def test_rule_feed_rejects_unknown_technology(daemon):
+    _service, client = daemon
+    with pytest.raises(ServiceError) as excinfo:
+        client.rules("pf")
+    assert excinfo.value.status == 400
+
+
+def test_metrics_scrape_parses(daemon):
+    _service, client = daemon
+    text = client.metrics()
+    assert text, "enabled telemetry must expose metrics"
+    sample = re.compile(
+        r"[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.e+-]+(\s|$)")
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert sample.match(line), f"unparseable sample line: {line!r}"
+    assert "service_days_ingested_total" in text
+    assert 'service_requests_total{' in text
+
+
+# -- protocol edges -----------------------------------------------------------
+
+
+def test_ingest_when_done_is_409(daemon):
+    _service, client = daemon
+    with pytest.raises(ServiceError) as excinfo:
+        client.ingest(1)
+    assert excinfo.value.status == 409
+
+
+def test_finalize_is_idempotent(daemon):
+    _service, client = daemon
+    result = client.finalize()
+    assert result["finalized"] and result["already_finalized"]
+
+
+def test_unknown_route_is_404_and_wrong_method_405(daemon):
+    _service, client = daemon
+    with pytest.raises(ServiceError) as excinfo:
+        client._json("GET", "/no/such/route")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServiceError) as excinfo:
+        client._json("POST", "/status")
+    assert excinfo.value.status == 405
+
+
+def test_index_lists_routes(daemon):
+    _service, client = daemon
+    index = client._json("GET", "/")
+    assert any("profiles" in route for route in index["routes"])
+
+
+def test_bad_ingest_body_is_400(daemon):
+    service, client = daemon
+    port = client.base_url.rsplit(":", 1)[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/ingest/day", data=b"{not json",
+        method="POST")
+    try:
+        urllib.request.urlopen(request, timeout=10)
+        raise AssertionError("expected HTTP 400")
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 400
+        assert "JSON" in json.load(exc)["error"]
+
+
+def test_connection_refused_raises_service_error():
+    client = StudyClient("http://127.0.0.1:9", timeout=2)
+    with pytest.raises(ServiceError) as excinfo:
+        client.healthz()
+    assert excinfo.value.status == 0
