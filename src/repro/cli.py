@@ -22,6 +22,7 @@ windows — the columnar-core stress setting).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 
@@ -51,7 +52,7 @@ SCALES: dict[str, StudyScale] = {
 REPORT_CHOICES = (
     "table1", "table2", "table3", "table4", "table7",
     "fig1", "fig2", "fig4", "fig5", "fig9", "fig10", "fig11",
-    "samples",
+    "samples", "dga-churn", "dga-evasion",
 )
 
 QUERY_CHOICES = (
@@ -119,11 +120,19 @@ def _build_parser() -> argparse.ArgumentParser:
                  "(seed, scale, faults, config, code version); a hit "
                  "skips the run and returns identical datasets")
 
+    def dga_flag(subparser):
+        subparser.add_argument(
+            "--dga", action="store_true",
+            help="opt-in DGA scenario: DGA-capable families rotate "
+                 "generated domains and a defender blocklist scores "
+                 "queries in-line (see DESIGN.md §8)")
+
     study = sub.add_parser("study", help="run the study and print Table 1 + stats")
     telemetry_flag(study)
     workers_flag(study)
     faults_flag(study)
     cache_flag(study)
+    dga_flag(study)
 
     report = sub.add_parser("report", help="render selected tables/figures")
     report.add_argument("--what", nargs="+", choices=REPORT_CHOICES,
@@ -132,6 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
     workers_flag(report)
     faults_flag(report)
     cache_flag(report)
+    dga_flag(report)
 
     stats = sub.add_parser(
         "stats", help="run the study with telemetry on and print the "
@@ -261,7 +271,12 @@ def _finish_telemetry(out, telemetry: Telemetry, path: str | None) -> None:
 
 
 def _run(args, telemetry: Telemetry = NULL_TELEMETRY) -> tuple:
-    world = generate_world(seed=args.seed, scale=SCALES[args.scale])
+    scale = SCALES[args.scale]
+    if getattr(args, "dga", False):
+        # the flag rides on the scale so parallel workers regenerating
+        # the world from (seed, scale) build the same DGA campaigns
+        scale = dataclasses.replace(scale, dga=True)
+    world = generate_world(seed=args.seed, scale=scale)
     workers = getattr(args, "workers", None)
     if workers is not None and workers < 0:
         raise SystemExit(f"repro: --workers must be >= 0, got {workers}")
@@ -297,6 +312,16 @@ def _cmd_study(args, out) -> int:
     attack_types = sorted({r.attack_type for r in datasets.d_ddos})
     _emit(out, telemetry, f"attack types observed: {attack_types}",
           "cli.attack_types", types=attack_types)
+    if getattr(args, "dga", False):
+        clusters = c2_analysis.domain_churn_clusters(datasets)
+        evasion = c2_analysis.block_evasion_rate(datasets)
+        domains = sum(len(records) for records in clusters.values())
+        _emit(out, telemetry,
+              f"DGA campaigns observed: {len(clusters)} "
+              f"({domains} rotated domains); "
+              f"block-evasion rate: {evasion:.0%}",
+              "cli.dga", campaigns=len(clusters), domains=domains,
+              evasion=evasion)
     _finish_telemetry(out, telemetry, telemetry_path)
     return 0
 
@@ -348,6 +373,14 @@ def _cmd_report(args, out) -> int:
         "samples": lambda: render_table(
             ["sha256", "family", "day", "c2", "exploits", "attacks"],
             _sample_rows(datasets), "Samples per C2"),
+        "dga-churn": lambda: render_cdf(
+            c2_analysis.domain_churn_lifetime_cdf(datasets),
+            "Domain-churn lifetime", "days"),
+        "dga-evasion": lambda: (
+            f"block-evasion rate: "
+            f"{c2_analysis.block_evasion_rate(datasets):.1%} "
+            f"(static-DNS baseline: "
+            f"{1 - c2_analysis.dead_on_arrival_rate(datasets):.1%} live)"),
     }
     for what in args.what:
         _emit(out, telemetry, renderers[what](), "cli.render", what=what)

@@ -128,6 +128,61 @@ def as_count_cdf(datasets: Datasets, asdb: AsDatabase) -> list[CdfPoint]:
     return points
 
 
+def domain_churn_clusters(datasets: Datasets) -> dict[str, list[C2Record]]:
+    """Group the DNS C2 records of one rotating (DGA) C2 together.
+
+    Each daily domain produces its own :class:`C2Record`; the sandbox
+    recovers the campaign's schedule seed from every binary's config —
+    exactly how real defenders reverse a family's algorithm + seed — and
+    the pipeline stamps it on the records as ``churn_key``.  Empty when
+    the study ran without ``--dga``.
+    """
+    clusters: dict[str, list[C2Record]] = {}
+    for record in datasets.d_c2s.values():
+        if record.is_dns and record.churn_key:
+            clusters.setdefault(record.churn_key, []).append(record)
+    return clusters
+
+
+def domain_churn_lifetime_cdf(datasets: Datasets) -> list[CdfPoint]:
+    """New figure: rotating-C2 lifespan measured across all of its names.
+
+    A churned C2's per-domain records each cap at roughly one day (the
+    name dies with the day); the campaign-level span — last referral of
+    any of its names minus the first — is the lifetime the rotation
+    actually buys, in the same whole-day metric as Figures 2/3.
+    """
+    import math
+
+    spans: list[int] = []
+    for records in domain_churn_clusters(datasets).values():
+        first = min(r.first_seen for r in records)
+        last = max(r.last_seen for r in records)
+        if last < first:
+            continue
+        spans.append(max(1, math.ceil((last - first) / 86400.0)))
+    return empirical_cdf(spans)
+
+
+def block_evasion_rate(datasets: Datasets) -> float:
+    """New figure: day-0 reachability of rotating-domain C2s.
+
+    The fraction of DGA-campaign referrals whose C2 was still reachable
+    at first analysis despite blocklist pressure, registrar losses, and
+    generation gaps — compare against ``1 - dead_on_arrival_rate`` for
+    the static baseline.
+    """
+    endpoints = {
+        record.endpoint
+        for records in domain_churn_clusters(datasets).values()
+        for record in records
+    }
+    referring = [p for p in datasets.profiles if p.c2_endpoint in endpoints]
+    if not referring:
+        return 0.0
+    return sum(1 for p in referring if p.c2_live_on_day0) / len(referring)
+
+
 def dead_on_arrival_rate(datasets: Datasets) -> float:
     """Fraction of C2-referring samples whose C2 was dead on day 0 (~60%)."""
     with_c2 = [p for p in datasets.profiles if p.has_c2]

@@ -39,6 +39,11 @@ class C2Record:
     #: (day, sha256) of the profile whose analysis created this record;
     #: fixes creation order and first-referral fields across shard merges
     origin: tuple = ()
+    #: links records of one rotating-domain (DGA) C2 across its daily
+    #: names — the schedule seed recovered from the campaign's binaries.
+    #: compare=False keeps the plain-run golden digests byte-identical;
+    #: with ``--dga`` off it is always "".
+    churn_key: str = field(default="", compare=False)
 
     @property
     def observed_lifespan_days(self) -> int:
@@ -248,7 +253,7 @@ class Datasets:
             base = records[0]
             out = C2Record(
                 endpoint=base.endpoint, port=base.port, is_dns=base.is_dns,
-                origin=base.origin,
+                origin=base.origin, churn_key=base.churn_key,
             )
             for record in records:
                 out.family_labels |= record.family_labels

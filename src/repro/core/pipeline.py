@@ -29,7 +29,7 @@ from ..analysis.ddos_detect import (
 )
 from ..binary.elf import ARCH_MACHINES, is_supported_elf
 from ..botnet.exploits import classify_exploit, extract_downloader, extract_loader
-from ..botnet.families import ATTACK_FAMILIES
+from ..botnet.families import ATTACK_FAMILIES, dga_domains
 from ..determinism import shard_of, stable_seed
 from ..feeds.avclass import label_sample
 from ..feeds.virustotal import DETECTION_THRESHOLD
@@ -39,7 +39,7 @@ from ..netsim.faults import FaultInjector, FaultPlan, FeedUnavailable, \
     SandboxCrash
 from ..netsim.packet import encode_memo_stats
 from ..obs import NULL_TELEMETRY, Telemetry
-from ..netsim.internet import SECONDS_PER_DAY
+from ..netsim.internet import SECONDS_PER_DAY, STUDY_EPOCH
 from ..sandbox.qemu import EmulationError, MipsEmulator
 from ..sandbox.sandbox import CncHunterSandbox, SANDBOX_IP
 from ..world.calibration import ACTIVE_WEEKS, MAY_7_2022
@@ -138,6 +138,7 @@ class MalNet:
             )
         world.internet.faults = self.faults
         world.internet.resolver.faults = self.faults
+        world.internet.resolver.bind_metrics(metrics)
         world.internet.telemetry = self.telemetry
         world.vt.faults = self.faults
         world.bazaar.faults = self.faults
@@ -494,8 +495,20 @@ class MalNet:
                 day=day,
             ))
 
-    def _resolve_endpoint(self, endpoint: str) -> int | None:
+    def _resolve_endpoint(self, endpoint: str, dga_seed: int = 0,
+                          dga_family: str = "") -> int | None:
         """Resolve an IoC string to a routable address, via live DNS."""
+        if dga_seed:
+            # a DGA binary walks today's candidate list, so probing its C2
+            # must too: a blocked or registrar-lost name is evaded, not
+            # fatal, as long as any candidate still resolves
+            now = self.world.internet.clock.now
+            day = int((now - STUDY_EPOCH) // SECONDS_PER_DAY)
+            for domain in dga_domains(dga_seed, dga_family, day):
+                address = self.world.internet.resolver.resolve(domain, now=now)
+                if address is not None:
+                    return address
+            return None
         if is_ip_literal(endpoint):
             return ip_to_int(endpoint)
         return self.world.internet.resolver.resolve(
@@ -519,6 +532,12 @@ class MalNet:
             )
         record = self.datasets.c2_record(endpoint, report.c2_port, is_dns,
                                          origin=(day, profile.sha256))
+        if report.dga_seed:
+            # every binary of a rotating-domain campaign recovers the same
+            # schedule seed, which links its daily endpoints together
+            profile.dga_seed = report.dga_seed
+            if not record.churn_key:
+                record.churn_key = str(report.dga_seed)
         record.sample_hashes.add(profile.sha256)
         if profile.family_label:
             record.family_labels.add(profile.family_label)
@@ -532,7 +551,9 @@ class MalNet:
             record.protocol_verified = True
 
         live = self._check_liveness(data, endpoint, report.c2_port,
-                                    sha256=profile.sha256)
+                                    sha256=profile.sha256,
+                                    dga_seed=report.dga_seed,
+                                    dga_family=report.dga_family)
         self._m_liveness.labels(outcome="live" if live else "dead").inc()
         profile.c2_live_on_day0 = live
         if live:
@@ -546,12 +567,13 @@ class MalNet:
                 self._observe_attacks(profile, record, data)
 
     def _check_liveness(self, data: bytes, endpoint: str, port: int,
-                        sha256: str | None = None) -> bool:
+                        sha256: str | None = None, dga_seed: int = 0,
+                        dga_family: str = "") -> bool:
         """Weaponized probe of the binary's own C2 (with 4h retries)."""
         policy = RetryPolicy(attempts=1 + self.config.liveness_retries,
                              backoff=4 * 3600.0, multiplier=1.0)
         for attempt in range(policy.attempts):
-            address = self._resolve_endpoint(endpoint)
+            address = self._resolve_endpoint(endpoint, dga_seed, dga_family)
             if address is not None:
                 results = self.sandbox.probe_targets(
                     data, [(address, port)], sha256=sha256)

@@ -52,6 +52,10 @@ class BinaryNetworkProfile:
     c2_is_dns: bool = False
     c2_live_on_day0: bool = False
     vt_flagged_day0: bool = False
+    #: DGA schedule seed recovered from the binary (0 = static endpoint).
+    #: compare=False: only set in opt-in --dga runs, and the plain-run
+    #: golden digests must stay byte-identical.
+    dga_seed: int = field(default=0, compare=False)
     # -- proliferation -----------------------------------------------------
     exploits: list[ExploitObservation] = field(default_factory=list)
     scan_ports: list[int] = field(default_factory=list)

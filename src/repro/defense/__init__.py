@@ -1,0 +1,25 @@
+"""Defender co-simulation: in-line DGA scoring + a DNS blocklist loop.
+
+See DESIGN.md §8.  Opt-in via ``StudyScale.dga`` / the ``--dga`` CLI
+flag; with it off nothing here is ever constructed.
+"""
+
+from .blocklist import (
+    APPEAL_SUCCESS_RATE,
+    APPEAL_WINDOW,
+    DETECTION_DELAY_MAX,
+    DETECTION_DELAY_MIN,
+    BlockDecision,
+    DnsDefense,
+)
+from .scorer import DomainScorer
+
+__all__ = [
+    "APPEAL_SUCCESS_RATE",
+    "APPEAL_WINDOW",
+    "DETECTION_DELAY_MAX",
+    "DETECTION_DELAY_MIN",
+    "BlockDecision",
+    "DnsDefense",
+    "DomainScorer",
+]

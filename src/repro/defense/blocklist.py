@@ -1,0 +1,82 @@
+"""Registration-driven DNS blocklist with override/appeal windows.
+
+The defender watches the registrar feed (``Resolver.register``), scores
+every newly registered name with :class:`~repro.defense.scorer.DomainScorer`,
+and blocklists DGA-looking names after a per-name detection delay.  A
+small fraction of blocks is successfully appealed (the override window),
+modelling takedown-review false starts.
+
+Decisions are pure functions of ``(defense seed, name, first-registration
+time)`` — never of query history.  That invariant is load-bearing: in the
+sharded study each worker sees only its shard's queries, but every worker
+regenerates the same world and therefore the same registration stream, so
+the blocklist state is identical everywhere and serial == parallel holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..determinism import stable_unit
+from .scorer import DomainScorer
+
+#: blocklist ingestion lag after a DGA-scored registration (seconds)
+DETECTION_DELAY_MIN = 2 * 3600.0
+DETECTION_DELAY_MAX = 20 * 3600.0
+#: a successful appeal lifts the block this long after it started
+APPEAL_WINDOW = 1.5 * 86400.0
+#: fraction of blocks overturned on appeal
+APPEAL_SUCCESS_RATE = 0.12
+
+
+@dataclass(frozen=True)
+class BlockDecision:
+    """Outcome of scoring one registered name."""
+
+    registered_at: float
+    #: when the block takes effect; None = scored benign, never blocked
+    blocked_from: float | None = None
+    #: when a successful appeal lifts the block; None = appeal denied
+    overridden_from: float | None = None
+
+
+class DnsDefense:
+    """Scorer + blocklist pair wired into the resolver."""
+
+    def __init__(self, seed: int, scorer: DomainScorer | None = None) -> None:
+        self.seed = seed
+        self.scorer = scorer or DomainScorer()
+        self._decisions: dict[str, BlockDecision] = {}
+
+    def is_dga(self, name: str) -> bool:
+        return self.scorer.is_dga(name)
+
+    def observe_registration(self, name: str, since: float) -> None:
+        """Score a newly registered name; earliest registration wins."""
+        key = name.lower()
+        existing = self._decisions.get(key)
+        if existing is not None and existing.registered_at <= since:
+            return
+        if not self.scorer.is_dga(key):
+            self._decisions[key] = BlockDecision(registered_at=since)
+            return
+        delay = DETECTION_DELAY_MIN + stable_unit(
+            "dns-detect", self.seed, key
+        ) * (DETECTION_DELAY_MAX - DETECTION_DELAY_MIN)
+        blocked_from = since + delay
+        overridden_from = None
+        if stable_unit("dns-appeal", self.seed, key) < APPEAL_SUCCESS_RATE:
+            overridden_from = blocked_from + APPEAL_WINDOW
+        self._decisions[key] = BlockDecision(since, blocked_from, overridden_from)
+
+    def blocked(self, name: str, now: float) -> bool:
+        """Is ``name`` on the blocklist at simulation time ``now``?"""
+        decision = self._decisions.get(name.lower())
+        if decision is None or decision.blocked_from is None:
+            return False
+        if now < decision.blocked_from:
+            return False
+        return decision.overridden_from is None or now < decision.overridden_from
+
+    def decision_for(self, name: str) -> BlockDecision | None:
+        return self._decisions.get(name.lower())

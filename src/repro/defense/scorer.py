@@ -1,0 +1,91 @@
+"""In-line DGA scorer for DNS query names.
+
+The defender side of the DGA scenario (ROADMAP item 3): a deterministic
+character-distribution + dictionary-feature scorer that classifies a
+query name as machine-generated or human-registered.  It runs in-line in
+the resolver, so it must be cheap, dependency-free, and a pure function
+of the name — any hidden state would break the serial == parallel
+digest invariant that shards rely on.
+
+Features (weights tuned against the closed world's two name registers):
+
+* longest consonant run — DGA labels here are drawn from vowel-free
+  alphabets, so the run spans the whole label; wordlist names break the
+  run every syllable;
+* label length — generated labels are >= 10 chars, vanity C2 names are
+  short compounds;
+* vowel ratio vs. the ~38% of natural English text;
+* greedy dictionary coverage — how much of the label is explained by
+  known words (the generator's vanity wordlist plus common net-speak),
+  subtracted from the score.
+"""
+
+from __future__ import annotations
+
+_VOWELS = frozenset("aeiou")
+
+#: Known human-register words: the world generator's vanity C2 wordlist
+#: (see ``world/generator.py:_make_domain``) plus generic DNS vocabulary.
+_DEFAULT_WORDS = frozenset(
+    {
+        "cnc", "net", "boat", "scan", "sora", "owari", "kill", "dark",
+        "pain", "okiru",
+        "update", "cdn", "cloud", "mail", "web", "host", "data", "api",
+        "static", "files", "time", "pool", "dns", "gate", "proxy", "node",
+    }
+)
+
+
+def _longest_consonant_run(label: str) -> int:
+    run = best = 0
+    for char in label:
+        if char.isalpha() and char not in _VOWELS:
+            run += 1
+            best = max(best, run)
+        else:
+            run = 0
+    return best
+
+
+class DomainScorer:
+    """Deterministic DGA likelihood score in [0, 1] for a domain name."""
+
+    def __init__(self, threshold: float = 0.5,
+                 words: frozenset[str] = _DEFAULT_WORDS) -> None:
+        self.threshold = threshold
+        self._words = words
+        self._max_word = max((len(w) for w in words), default=0)
+
+    def _dictionary_coverage(self, label: str) -> float:
+        """Fraction of the label explained by known words (greedy)."""
+        covered = 0
+        position = 0
+        while position < len(label):
+            hit = 0
+            for size in range(min(self._max_word, len(label) - position), 2, -1):
+                if label[position : position + size] in self._words:
+                    hit = size
+                    break
+            if hit:
+                covered += hit
+                position += hit
+            else:
+                position += 1
+        return covered / len(label)
+
+    def score(self, name: str) -> float:
+        """DGA likelihood of ``name``'s first (second-level) label."""
+        label = name.lower().rstrip(".").split(".", 1)[0]
+        letters = [c for c in label if c.isalpha()]
+        if not letters:
+            return 0.0
+        vowel_ratio = sum(c in _VOWELS for c in letters) / len(letters)
+        char_f = max(0.0, 1.0 - vowel_ratio / 0.38)
+        run_f = min(1.0, max(0, _longest_consonant_run(label) - 3) / 4.0)
+        length_f = min(1.0, max(0, len(label) - 6) / 10.0)
+        dict_f = self._dictionary_coverage(label)
+        raw = 0.4 * run_f + 0.25 * length_f + 0.2 * char_f - 0.5 * dict_f
+        return min(1.0, max(0.0, raw))
+
+    def is_dga(self, name: str) -> bool:
+        return self.score(name) >= self.threshold

@@ -37,7 +37,10 @@ def encode_name(name: str) -> bytes:
         raise DnsError("empty domain name")
     out = bytearray()
     for label in name.split("."):
-        raw = label.encode("ascii")
+        try:
+            raw = label.encode("ascii")
+        except UnicodeEncodeError:
+            raise DnsError(f"non-ASCII label in {name!r}") from None
         if not 1 <= len(raw) <= 63:
             raise DnsError(f"bad label in {name!r}")
         out.append(len(raw))
@@ -62,7 +65,10 @@ def decode_name(data: bytes, offset: int) -> tuple[str, int]:
             raise DnsError("compression pointers not supported")
         if offset + length > len(data):
             raise DnsError("truncated label")
-        labels.append(data[offset : offset + length].decode("ascii"))
+        try:
+            labels.append(data[offset : offset + length].decode("ascii"))
+        except UnicodeDecodeError:
+            raise DnsError("non-ASCII label on the wire") from None
         offset += length
     return ".".join(labels), offset
 
@@ -150,41 +156,100 @@ class Resolver:
     store keeps a history of bindings per name.
     """
 
+    #: every lookup ends in exactly one of these outcomes
+    OUTCOMES = ("resolved", "nxdomain", "servfail", "blocked")
+
     def __init__(self) -> None:
         #: name -> list of (effective_from_time, address or None)
         self._zones: dict[str, list[tuple[float, int | None]]] = {}
         #: optional fault injector (repro.netsim.faults); transient
         #: SERVFAIL slots make resolution retryable rather than absent
         self.faults = None
+        #: optional in-line defender (repro.defense.DnsDefense): observes
+        #: registrations, scores names, and vetoes blocklisted lookups
+        self.defense = None
+        self._metrics: tuple | None = None
+
+    def bind_metrics(self, metrics) -> None:
+        """Attach per-query counters to an obs metrics registry.
+
+        Every query is counted exactly once under its outcome — including
+        SERVFAIL fault slots and defender-blocked lookups, which earlier
+        code paths dropped entirely (only successes were visible).
+        """
+        queries = metrics.counter(
+            "dns_queries_total",
+            "resolver queries by outcome",
+            labelnames=("outcome",),
+        )
+        for outcome in self.OUTCOMES:
+            queries.labels(outcome=outcome)
+        self._metrics = (
+            queries,
+            metrics.counter(
+                "dns_blocked_total",
+                "queries denied by the defender blocklist",
+            ),
+            metrics.counter(
+                "dga_domains_total",
+                "queries for names the defender scores as machine-generated",
+            ),
+        )
 
     def register(self, name: str, address: int | None, since: float = 0.0) -> None:
         """Bind ``name`` to ``address`` (None = withdrawn) from ``since``."""
         history = self._zones.setdefault(name.lower(), [])
         history.append((since, address))
         history.sort(key=lambda item: item[0])
+        if self.defense is not None and address is not None:
+            self.defense.observe_registration(name, since)
 
-    def resolve(self, name: str, now: float = 0.0) -> int | None:
-        """Current A record for ``name`` at simulation time ``now``."""
+    def _lookup(self, name: str, now: float) -> tuple[int | None, str]:
+        """Resolution plus its outcome; callers count exactly once."""
+        if self.defense is not None:
+            if self._metrics is not None and self.defense.is_dga(name):
+                self._metrics[2].inc()
+            if self.defense.blocked(name, now):
+                return None, "blocked"
         if self.faults is not None and self.faults.dns_servfail(name, now):
-            return None
+            return None, "servfail"
         history = self._zones.get(name.lower())
-        if not history:
-            return None
         current: int | None = None
-        for since, address in history:
+        for since, address in history or ():
             if since > now:
                 break
             current = address
-        return current
+        return current, ("resolved" if current is not None else "nxdomain")
+
+    def _count(self, outcome: str) -> None:
+        if self._metrics is None:
+            return
+        queries, blocked, _dga = self._metrics
+        queries.labels(outcome=outcome).inc()
+        if outcome == "blocked":
+            blocked.inc()
+
+    def resolve(self, name: str, now: float = 0.0) -> int | None:
+        """Current A record for ``name`` at simulation time ``now``.
+
+        A withdrawal registered at ``t`` takes effect *at* ``t`` (``since >
+        now`` keeps the newer binding), so server lifetimes are
+        end-exclusive: resolving at exactly ``online_until`` already sees
+        the takedown.
+        """
+        address, outcome = self._lookup(name, now)
+        self._count(outcome)
+        return address
 
     def answer(self, query: DnsQuery, now: float = 0.0) -> DnsResponse:
         """Build the wire response for a query."""
-        if self.faults is not None and self.faults.dns_servfail(query.name,
-                                                               now):
+        address, outcome = self._lookup(query.name, now)
+        self._count(outcome)
+        if outcome == "servfail":
             return DnsResponse(query.transaction_id, query.name,
                                rcode=RCODE_SERVFAIL)
-        address = self.resolve(query.name, now)
         if address is None:
+            # blocklisted names are sinkholed RPZ-style as NXDOMAIN
             return DnsResponse(query.transaction_id, query.name, rcode=RCODE_NXDOMAIN)
         return DnsResponse(query.transaction_id, query.name, [address])
 

@@ -99,6 +99,10 @@ class FakeInternetAdapter:
 
     # -- NetworkAdapter interface ------------------------------------------------
 
+    def clock_now(self) -> float:
+        """Simulation time inside the sandbox (DGA bots pick today's list)."""
+        return self.base_time
+
     def dns_lookup(self, name: str, trace: Capture | None = None) -> int:
         """Every name resolves (InetSim behavior), stably per name."""
         self.dns_log.append(name)

@@ -76,6 +76,11 @@ class OfflineReport:
     exploits: list[ExploitCapture] = field(default_factory=list)
     scan_ports: list[int] = field(default_factory=list)
     yara_input: bytes = b""
+    #: DGA schedule seed recovered from the binary's config (0 = none);
+    #: this is how defenders link a campaign's rotating domains together
+    dga_seed: int = 0
+    #: config family of a DGA binary (the schedule is per-family)
+    dga_family: str = ""
 
     @property
     def has_c2(self) -> bool:
@@ -180,6 +185,9 @@ class CncHunterSandbox:
         base_time = self.internet.clock.now if self.internet else 0.0
         fake = FakeInternetAdapter(self.bot_ip, self.rng, base_time=base_time)
         bot = process.bot
+        report.dga_seed = bot.config.dga_seed
+        if report.dga_seed:
+            report.dga_family = bot.family.name
         if bot.config.is_p2p:
             bot.p2p_bootstrap(fake, report.capture)
         else:

@@ -136,3 +136,6 @@ class FilteredAdapter:
 
     def dns_lookup(self, name: str, trace: Capture | None = None):
         return self._inner.dns_lookup(name, trace or self._trace)
+
+    def clock_now(self) -> float:
+        return getattr(self._inner, "clock_now", lambda: 0.0)()

@@ -178,6 +178,21 @@ DOWNLOADER_TOTAL = 47
 DOWNLOADER_NOT_C2 = 12
 DOWNLOADER_PORT = 80
 
+#: DGA scenario (opt-in via StudyScale.dga; ROADMAP item 3).  Endpoint
+#: churn dominates evasion in the wild ("Analyzing Endpoints in the
+#: Internet of Things Malware"), so a sizable minority of DGA-capable
+#: campaigns rotates domains instead of pinning one endpoint.
+DGA_CAMPAIGN_FRACTION = 0.35
+#: registrar-won candidates actually registered per day (of the family's
+#: daily_candidates); operators pre-register only a couple of names
+DGA_REGISTERED_PER_DAY = 2
+#: per-candidate probability the operator wins the registration race
+DGA_REGISTER_RATE = 0.5
+#: extra server "generations" stood up after each takedown (inclusive)
+DGA_EXTRA_GENERATIONS = (1, 3)
+#: lifetime of each replacement generation (days, uniform)
+DGA_GENERATION_DAYS = (1.0, 4.0)
+
 
 @dataclass
 class StudyScale:
@@ -194,6 +209,9 @@ class StudyScale:
     #: backbone capture cap for this scale (packets kept before the
     #: internet starts counting ``backbone_dropped``); None = unbounded
     backbone_limit: int | None = 20_000
+    #: opt-in DGA + defender co-simulation (``--dga``); off keeps the
+    #: golden digests byte-identical because no extra RNG draws happen
+    dga: bool = False
 
     @property
     def total_samples(self) -> int:

@@ -19,7 +19,14 @@ from ..binary.builder import build_sample
 from ..binary.config import BotConfig
 from ..botnet.c2server import C2Server, DownloaderHttp, ResponsivenessModel
 from ..botnet.exploits import KEY_TO_INDEX, LOADER_WEIGHTS, POPULARITY_WEIGHTS
-from ..botnet.families import ATTACK_FAMILIES, get_family
+from ..botnet.families import (
+    ATTACK_FAMILIES,
+    dga_domains,
+    dga_schedule_seed,
+    get_family,
+)
+from ..defense import DnsDefense
+from ..determinism import stable_unit
 from ..botnet.protocols.base import AttackCommand
 from ..feeds.malwarebazaar import MalwareBazaarService
 from ..feeds.virustotal import VirusTotalService
@@ -100,6 +107,10 @@ class WorldGenerator:
     # -- entry point ---------------------------------------------------------
 
     def generate(self) -> World:
+        if self.scale.dga:
+            # the defender watches the registrar feed, so it must be in
+            # place before the first domain registration
+            self.internet.resolver.defense = DnsDefense(seed=self.seed)
         self._create_downloader_only_hosts()
         self._create_p2p_bootstrap()
         self._plan_attack_campaigns()
@@ -246,6 +257,78 @@ class WorldGenerator:
         self.truth.deployments.append(deployment)
         return deployment
 
+    def _convert_to_dga(self, deployment: C2Deployment) -> None:
+        """Rework a fresh deployment into a domain-rotating C2.
+
+        The operator stands the *same* C2 server up on a chain of
+        replacement addresses ("generations") as each one is taken down,
+        and each day registers the registrar-won subset of that day's
+        generated candidates pointing at whichever generation is alive.
+        Surviving an IP takedown by rotating names is exactly the churn
+        the defender loop then has to chase.
+        """
+        family = deployment.family
+        deployment.dga = True
+        deployment.dga_seed = dga_schedule_seed(
+            self.seed, family, deployment.address
+        )
+        generations = [
+            (deployment.address, deployment.online_from, deployment.online_until)
+        ]
+        for index in range(self.rng.randint(*cal.DGA_EXTRA_GENERATIONS)):
+            address = self.asdb.allocate_address(
+                deployment.asn, self.allocator, self.rng
+            )
+            start = generations[-1][2]
+            end = start + self.rng.uniform(*cal.DGA_GENERATION_DAYS) * SECONDS_PER_DAY
+            host = self.internet.add_host(
+                address, name=f"c2-{family}-gen{index + 1}"
+            )
+            host.set_lifetime(start, end)
+            host.bind(Listener(port=deployment.port, protocol=Protocol.TCP,
+                               service=deployment.server))
+            host.bind(Listener(port=cal.DOWNLOADER_PORT, protocol=Protocol.TCP,
+                               service=DownloaderHttp()))
+            generations.append((address, start, end))
+        deployment.generations = generations
+        deployment.online_until = generations[-1][2]
+        first_day = int((deployment.online_from - STUDY_EPOCH) // SECONDS_PER_DAY)
+        last_day = int((deployment.online_until - STUDY_EPOCH) // SECONDS_PER_DAY)
+        for day in range(first_day, last_day + 1):
+            day_start = STUDY_EPOCH + day * SECONDS_PER_DAY
+            day_end = day_start + SECONDS_PER_DAY
+            noon = day_start + ANALYSIS_HOUR_OFFSET
+            live = [g for g in generations if g[1] < day_end and day_start < g[2]]
+            if not live:
+                continue
+            # prefer the generation serving at analysis time; else the
+            # first one alive at any point of the day
+            active = next(
+                (g for g in live if g[1] <= noon < g[2]), live[0]
+            )
+            candidates = dga_domains(deployment.dga_seed, family, day)
+            # the registrar race is a pure function of (world seed, name)
+            # so every shard derives the identical won subset
+            won = [
+                name for name in candidates
+                if stable_unit("dga-registrar", self.seed, name)
+                < cal.DGA_REGISTER_RATE
+            ]
+            if not won:
+                # a day with zero names would orphan the whole botnet;
+                # operators fall back to hand-registering the first
+                won = candidates[:1]
+            for domain in won[: cal.DGA_REGISTERED_PER_DAY]:
+                since = max(day_start, active[1], deployment.online_from)
+                until = min(day_end, active[2])
+                if until <= since:
+                    continue
+                self.internet.resolver.register(domain, active[0], since=since)
+                self.internet.resolver.register(domain, None, since=until)
+                deployment.dga_domains.append((day, domain))
+                if deployment.server is not None:
+                    deployment.server.register_domain_window(domain, since, until)
+
     # -- campaign planning ----------------------------------------------------------------
 
     def _arsenal(self) -> tuple[list[int], str, str]:
@@ -280,9 +363,11 @@ class WorldGenerator:
                 exploit_ids, loader, _ = self._arsenal()
                 if deployment is not None:
                     downloader = self._pick_downloader(deployment)
+            dga = deployment is not None and deployment.dga
             config = BotConfig(
                 family=campaign.family,
-                c2_host=deployment.endpoint if deployment else "",
+                # DGA binaries carry the schedule seed instead of a host
+                c2_host="" if dga else (deployment.endpoint if deployment else ""),
                 c2_port=deployment.port if deployment else 0,
                 scan_ports=[23, 2323] if not family.is_p2p else [],
                 exploit_ids=exploit_ids,
@@ -294,6 +379,7 @@ class WorldGenerator:
                     self.rng.sample(self._bootstrap_peers, 2)
                     if family.is_p2p else []
                 ),
+                dga_seed=deployment.dga_seed if dga else 0,
             )
             arch = ("arm" if self.rng.random() < self.scale.arm_fraction
                     else "mips")
@@ -362,6 +448,9 @@ class WorldGenerator:
             deployment = None
             if not family.is_p2p:
                 deployment = self._deploy_c2(family_name, variant, week)
+                if (self.scale.dga and family.dga is not None
+                        and self.rng.random() < cal.DGA_CAMPAIGN_FRACTION):
+                    self._convert_to_dga(deployment)
             campaign = Campaign(family=family_name, variant=variant,
                                 c2=deployment)
             self._build_campaign_samples(

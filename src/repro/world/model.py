@@ -33,6 +33,16 @@ class C2Deployment:
     is_attack_c2: bool = False
     is_probed: bool = False
     downloader_colocated: bool = True
+    # -- DGA scenario (StudyScale.dga) -----------------------------------
+    #: rotates generated domains instead of pinning one endpoint
+    dga: bool = False
+    #: 32-bit schedule seed embedded in this campaign's bot configs
+    dga_seed: int = 0
+    #: successive server addresses as (address, online_from, online_until);
+    #: each replaces the previous one after its takedown
+    generations: list[tuple[int, float, float]] = field(default_factory=list)
+    #: registrar-won names actually registered, as (day, domain)
+    dga_domains: list[tuple[int, str]] = field(default_factory=list)
 
     @property
     def endpoint(self) -> str:

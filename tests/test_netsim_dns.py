@@ -46,6 +46,16 @@ class TestNameCodec:
         with pytest.raises(DnsError):
             decode_name(b"\x05abc", 0)
 
+    def test_non_ascii_label_raises_dns_error(self):
+        # regression: used to escape as UnicodeEncodeError
+        with pytest.raises(DnsError):
+            encode_name("cncé.example")
+
+    def test_non_ascii_wire_label_raises_dns_error(self):
+        # regression: used to escape as UnicodeDecodeError
+        with pytest.raises(DnsError):
+            decode_name(b"\x02\xc3\xa9\x00", 0)
+
 
 class TestMessageCodec:
     def test_query_roundtrip(self):
@@ -115,6 +125,18 @@ class TestResolver:
         assert response.addresses == [addr]
         missing = resolver.answer(DnsQuery(8, "other.example"))
         assert missing.is_nxdomain
+
+    def test_lifetime_end_exclusive(self):
+        """Pin the deregistration fencepost: a server online over
+        [online_from, online_until) must stop resolving AT online_until."""
+        resolver = Resolver()
+        addr = ip_to_int("203.0.113.9")
+        online_from, online_until = 1000.0, 5000.0
+        resolver.register("c2.example", addr, since=online_from)
+        resolver.register("c2.example", None, since=online_until)
+        assert resolver.resolve("c2.example", now=online_from) == addr
+        assert resolver.resolve("c2.example", now=online_until - 1e-6) == addr
+        assert resolver.resolve("c2.example", now=online_until) is None
 
     def test_known_names_sorted(self):
         resolver = Resolver()
