@@ -127,12 +127,28 @@ def _build_parser() -> argparse.ArgumentParser:
                  "generated domains and a defender blocklist scores "
                  "queries in-line (see DESIGN.md §8)")
 
+    def transport_flags(subparser):
+        subparser.add_argument(
+            "--transport", choices=("local", "socket"), default=None,
+            help="where shard units execute: 'local' worker pool "
+                 "(default) or 'socket' repro-worker daemons at --peers; "
+                 "results are byte-identical either way (DESIGN.md §9)")
+        subparser.add_argument(
+            "--peers", metavar="HOST:PORT,...", default=None,
+            help="comma-separated worker addresses for --transport socket")
+        subparser.add_argument(
+            "--units", type=int, default=None, metavar="N",
+            help="cut the corpus into N sha256 units (default: workers "
+                 "locally, 4x the fleet over sockets); any N merges to "
+                 "the same digest")
+
     study = sub.add_parser("study", help="run the study and print Table 1 + stats")
     telemetry_flag(study)
     workers_flag(study)
     faults_flag(study)
     cache_flag(study)
     dga_flag(study)
+    transport_flags(study)
 
     report = sub.add_parser("report", help="render selected tables/figures")
     report.add_argument("--what", nargs="+", choices=REPORT_CHOICES,
@@ -142,6 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
     faults_flag(report)
     cache_flag(report)
     dga_flag(report)
+    transport_flags(report)
 
     stats = sub.add_parser(
         "stats", help="run the study with telemetry on and print the "
@@ -149,6 +166,24 @@ def _build_parser() -> argparse.ArgumentParser:
     telemetry_flag(stats)
     workers_flag(stats)
     faults_flag(stats)
+    transport_flags(stats)
+
+    worker = sub.add_parser(
+        "worker", help="run a distributed study worker daemon that "
+                       "executes shard units for a coordinator "
+                       "(repro study --transport socket)")
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    worker.add_argument("--port", type=int, default=0,
+                        help="listen port (default: 0 = ephemeral; the "
+                             "chosen port is announced on stdout)")
+    worker.add_argument("--heartbeat-interval", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="heartbeat cadence while executing a unit "
+                             "(default: 0.5)")
+    worker.add_argument("--world-cache", type=int, default=4, metavar="N",
+                        help="pristine generated worlds kept warm "
+                             "(default: 4)")
 
     obs = sub.add_parser(
         "obs", help="inspect telemetry artifact directories written by "
@@ -270,6 +305,25 @@ def _finish_telemetry(out, telemetry: Telemetry, path: str | None) -> None:
           file=out)
 
 
+def _parse_peers(value: str | None) -> list[str] | None:
+    """``"host:port,host:port"`` -> validated address list (or None)."""
+    if not value:
+        return None
+    peers = []
+    for address in value.split(","):
+        address = address.strip()
+        if not address:
+            continue
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(
+                f"repro: --peers entries must be host:port, got {address!r}")
+        peers.append(address)
+    if not peers:
+        raise SystemExit("repro: --peers is empty")
+    return peers
+
+
 def _run(args, telemetry: Telemetry = NULL_TELEMETRY) -> tuple:
     scale = SCALES[args.scale]
     if getattr(args, "dga", False):
@@ -280,6 +334,13 @@ def _run(args, telemetry: Telemetry = NULL_TELEMETRY) -> tuple:
     workers = getattr(args, "workers", None)
     if workers is not None and workers < 0:
         raise SystemExit(f"repro: --workers must be >= 0, got {workers}")
+    transport = getattr(args, "transport", None)
+    peers = _parse_peers(getattr(args, "peers", None))
+    if peers and transport is None:
+        transport = "socket"
+    if transport == "socket" and not peers:
+        raise SystemExit(
+            "repro: --transport socket needs --peers host:port[,host:port]")
     config = None
     faults = getattr(args, "faults", None)
     if faults is not None:
@@ -287,6 +348,10 @@ def _run(args, telemetry: Telemetry = NULL_TELEMETRY) -> tuple:
     malnet, campaign, datasets = run_study(world, config=config,
                                            telemetry=telemetry,
                                            workers=workers,
+                                           transport=transport,
+                                           peers=peers,
+                                           unit_count=getattr(args, "units",
+                                                              None),
                                            cache=getattr(args, "cache_dir",
                                                          None))
     if datasets.failed_shards:
@@ -643,6 +708,36 @@ def _cmd_query(args, out) -> int:
         raise SystemExit(f"repro query: {exc}")
 
 
+def _cmd_worker(args, out) -> int:
+    """Run a ``repro worker`` daemon until SIGTERM/SIGINT.
+
+    The announce line (``# worker listening on host:port``) is the
+    machine-readable contract scripts parse when ``--port 0`` picks an
+    ephemeral port.
+    """
+    import signal
+
+    from .dist.worker import WorkerServer
+
+    server = WorkerServer(host=args.host, port=args.port,
+                          heartbeat_interval=args.heartbeat_interval,
+                          world_cache_limit=args.world_cache)
+
+    def _stop(signum, _frame):
+        print(f"# worker stopping on {signal.Signals(signum).name}",
+              file=out, flush=True)
+        server.shutdown()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(f"# worker listening on {server.host}:{server.port} "
+          f"(pid {os.getpid()})", file=out, flush=True)
+    server.serve_forever()
+    print(f"# worker stopped after {server.tasks_run} unit task(s)",
+          file=out, flush=True)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -656,6 +751,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "obs": _cmd_obs,
         "serve": _cmd_serve,
         "query": _cmd_query,
+        "worker": _cmd_worker,
     }
     try:
         return commands[args.command](args, out)

@@ -2,11 +2,11 @@
 
 MalNet ran four CnCHunter sandboxes side by side, each analyzing its own
 slice of the day's binaries.  This module reproduces that topology with
-real processes: samples are partitioned by sha256
-(:func:`~repro.determinism.shard_of`), each worker runs the full
-:class:`~repro.core.pipeline.MalNet` pipeline over its shard against its
-own copy of the world, and the parent merges the shard outputs with
-:meth:`Datasets.merge <repro.core.datasets.Datasets.merge>`.
+real executors: samples are partitioned by sha256
+(:func:`~repro.determinism.shard_of`) into *units*, each executor runs
+the full :class:`~repro.core.pipeline.MalNet` pipeline over its unit
+against its own copy of the world, and the parent merges the unit
+outputs with :meth:`Datasets.merge <repro.core.datasets.Datasets.merge>`.
 
 The hard invariant: **the merged parallel output is byte-identical to the
 serial run** on the same ``(seed, scale)``.  Three properties carry it:
@@ -15,38 +15,40 @@ serial run** on the same ``(seed, scale)``.  Three properties carry it:
   shared RNG streams (sandbox + virtual internet) are reseeded per sample
   from ``(world seed, sha256)`` (:meth:`MalNet._reseed_for`), so a
   binary's analysis is a pure function of the sample;
-* sharding by sha256 keeps deduplication shard-local: every occurrence of
-  a hash lands in the same shard, so no worker needs another's seen-set;
+* sharding by sha256 keeps deduplication unit-local: every occurrence of
+  a hash lands in the same unit, so no executor needs another's seen-set;
 * records carry ``origin`` tuples fixing their global creation order,
   which lets the merge reconstruct the serial insertion order exactly.
 
-Workers are spawned with the ``fork`` start method where available so the
-already-generated world is inherited copy-on-write instead of being
-rebuilt; each worker process runs exactly one shard task
-(``maxtasksperchild=1``) so no task sees a world mutated by a previous
-one.  Without ``fork`` the worker regenerates the world from
-``(seed, scale)`` — same bytes either way, world generation is
-deterministic.
+*Where* the units execute is a transport's business
+(:mod:`repro.dist.transport`): ``transport="local"`` is the historical
+``multiprocessing.Pool`` (fork-inherited world snapshot,
+``maxtasksperchild=1``), ``transport="socket"`` dispatches over TCP to
+``repro worker`` daemons with cache-aware placement and work stealing.
+Either way the unit partition is by sha256, so any placement merges to
+the same digest.
 
-**Failure handling**: a real fleet loses sandboxes.  :meth:`join` waits
-per shard with a bounded timeout, treats a missing result (worker died —
-``multiprocessing.Pool`` silently loses the in-flight task of a killed
-worker) or a raised one as a shard failure, terminates the wave's pool,
-and re-dispatches only the failed shards in a fresh pool, up to
-``max_redispatch`` extra waves.  Re-dispatched workers regenerate the
-world from ``(seed, scale)`` instead of trusting the fork snapshot: by
-join time the parent's probing campaign has mutated the parent world, so
-the snapshot is only valid for the first wave.  Because each shard's
-output is a pure function of ``(seed, scale, config)``, a retried shard
-produces the same bytes it would have produced on the first try.  Shards
-that keep failing land in :attr:`ShardedStudyRunner.failed_shards` so a
-partial merge is reported, never silent.
+**Failure handling**: a real fleet loses sandboxes.  :meth:`join` drains
+the wave with a bounded **per-wave** deadline (``shard_timeout`` — every
+re-dispatch wave gets a fresh budget, so worst-case wall time is
+``shard_timeout × (1 + max_redispatch)``), treats a missing or raised
+result as a unit failure, tears the wave down, and re-dispatches only
+the failed units, up to ``max_redispatch`` extra waves.  Local failure
+text distinguishes a *crashed* worker (exited nonzero; the pool silently
+replaced it and lost its task) from a *hung* one (still alive at the
+deadline).  Re-dispatched local workers regenerate the world from
+``(seed, scale)`` instead of trusting the fork snapshot: by join time
+the parent's probing campaign has mutated the parent world, so the
+snapshot is only valid for the first wave.  Because each unit's output
+is a pure function of ``(seed, scale, config)``, a retried unit produces
+the same bytes it would have produced on the first try.  Units that keep
+failing land in :attr:`ShardedStudyRunner.failed_shards` so a partial
+merge is reported, never silent.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import os
 import time
 
@@ -57,7 +59,8 @@ from ..world.generator import World
 from .datasets import Datasets
 from .pipeline import MalNet, PipelineConfig
 
-__all__ = ["ShardedStudyRunner", "ShardResult", "fold_counters"]
+__all__ = ["ShardedStudyRunner", "ShardResult", "execute_shard",
+           "fold_counters"]
 
 #: world snapshot inherited by fork()ed workers; ``None`` under spawn and
 #: for re-dispatch waves (the parent world has been mutated by then)
@@ -70,14 +73,16 @@ _CRASH_EXIT_CODE = 170
 
 @dataclasses.dataclass
 class ShardResult:
-    """One worker's output: its shard's datasets plus telemetry snapshots.
+    """One executor's output: its unit's datasets plus telemetry snapshots.
 
-    ``counters`` is the worker's full metrics snapshot (counters *and*
+    ``counters`` is the executor's full metrics snapshot (counters *and*
     histograms — the name predates the histogram merge); ``spans`` and
     ``events`` are portable tracer/event-log snapshots, populated only
     when the parent ran with telemetry enabled.  ``wall_seconds`` is the
-    worker-measured wall time of the whole shard task and ``attempt`` the
-    dispatch wave that produced this result (0 = first try).
+    executor-measured wall time of the whole unit task, ``attempt`` the
+    dispatch wave that produced this result (0 = first try), and
+    ``worker`` the socket worker that ran it (``None`` on the local
+    transport).
     """
 
     shard_index: int
@@ -87,34 +92,46 @@ class ShardResult:
     events: dict | None = None
     wall_seconds: float = 0.0
     attempt: int = 0
+    worker: str | None = None
 
 
-def _run_shard(task) -> ShardResult:
-    """Worker entry point: run the pipeline over one shard.
+def execute_shard(seed: int, scale, config: PipelineConfig, attempt: int,
+                  telemetry_on: bool, *, world: World | None = None,
+                  chaos: str = "exit") -> ShardResult:
+    """Run the pipeline over one sha256 unit — the shared executor body
+    of the pool worker and the ``repro worker`` daemon.
 
-    Runs in a child process.  Uses the fork-inherited world snapshot when
-    there is one and this is the first attempt, otherwise regenerates the
-    world from ``(seed, scale)``.  The worker always keeps metrics
-    (counter/histogram totals survive the merge); with ``telemetry_on``
-    it also runs a real tracer and event log whose snapshots the parent
-    re-roots under a ``shard[i]`` span (see :mod:`repro.obs.merge`) —
-    parallel runs lose no spans or events.
+    ``world`` is an already-generated private copy (fork snapshot, or a
+    worker's warm-cache deepcopy); ``None`` regenerates from
+    ``(seed, scale)`` — same bytes either way, world generation is
+    deterministic.  ``chaos`` picks how a fault plan's worker-crash draw
+    dies: ``"exit"`` is the pool's ``os._exit`` (no exception, task
+    silently lost), ``"raise"`` raises
+    :class:`~repro.netsim.faults.WorkerCrash` so a daemon can drop the
+    coordinator connection instead of killing itself.
+
+    The executor always keeps metrics (counter/histogram totals survive
+    the merge); with ``telemetry_on`` it also runs a real tracer and
+    event log whose snapshots the parent re-roots under a ``shard[i]``
+    span (see :mod:`repro.obs.merge`) — parallel runs lose no spans or
+    events.
     """
-    seed, scale, config, attempt, telemetry_on = task
     started = time.perf_counter()
     plan = config.faults
     if plan is not None and plan.enabled:
-        from ..netsim.faults import FaultInjector
+        from ..netsim.faults import FaultInjector, WorkerCrash
 
         injector = FaultInjector(plan, seed)
         if injector.worker_crashes(config.shard_index, attempt):
-            # die like a sandbox host dies: no exception, no result —
-            # the parent only notices the shard never reports back
-            os._exit(_CRASH_EXIT_CODE)
+            if chaos == "exit":
+                # die like a sandbox host dies: no exception, no result —
+                # the parent only notices the shard never reports back
+                os._exit(_CRASH_EXIT_CODE)
+            raise WorkerCrash(
+                f"chaos crash: unit {config.shard_index} attempt {attempt}")
         if injector.worker_hangs(config.shard_index, attempt):
             time.sleep(plan.hang_seconds)
-    world = _FORK_WORLD
-    if world is None or attempt > 0:
+    if world is None:
         from ..world import generate_world
 
         world = generate_world(seed=seed, scale=scale)
@@ -137,154 +154,171 @@ def _run_shard(task) -> ShardResult:
     )
 
 
+def _run_shard(task) -> ShardResult:
+    """Pool worker entry point: run the pipeline over one unit.
+
+    Runs in a child process.  Uses the fork-inherited world snapshot
+    when there is one and this is the first attempt, otherwise
+    :func:`execute_shard` regenerates the world from ``(seed, scale)``.
+    """
+    seed, scale, config, attempt, telemetry_on = task
+    world = _FORK_WORLD if attempt == 0 else None
+    return execute_shard(seed, scale, config, attempt, telemetry_on,
+                         world=world, chaos="exit")
+
+
 class ShardedStudyRunner:
-    """Runs the daily pipeline across N sha256-sharded worker processes.
+    """Runs the daily pipeline across sha256-partitioned executors.
 
     Usage is two-phase so the parent can do useful work (the probing
-    campaign) while the pool grinds through the shards::
+    campaign) while the executors grind through the units::
 
         runner = ShardedStudyRunner(world, workers=4).start()
-        ...                       # parent-side work overlaps the pool
-        shards = runner.join()    # [ShardResult, ...] in shard order
+        ...                       # parent-side work overlaps execution
+        shards = runner.join()    # [ShardResult, ...] in unit order
 
-    After :meth:`join`, :attr:`failed_shards` lists the shard indexes
+    ``transport="local"`` (default) keeps today's in-host pool with one
+    unit per worker, zero behavior change.  ``transport="socket"``
+    dispatches to remote ``repro worker`` daemons at ``peers``
+    (``["host:port", ...]``), cutting the corpus into ``unit_count``
+    fine-grained units (default 4× the fleet size) so the coordinator
+    can place cache-aware and steal from stragglers.  ``unit_count``
+    also works locally (useful for testing the fine-grained plan); any
+    unit count merges to the same digest.
+
+    After :meth:`join`, :attr:`failed_shards` lists the unit indexes
     that never produced a result (crashed/hung/raised through every
     re-dispatch wave) and :attr:`failures` keeps the last error text per
-    failed shard.  Callers must treat a non-empty :attr:`failed_shards`
-    as a partial merge.
+    failed unit; :attr:`transport_stats` carries the transport's
+    placement/steal/wall accounting for the manifest.  Callers must
+    treat a non-empty :attr:`failed_shards` as a partial merge.
+
+    ``shard_timeout`` is a **per-wave** deadline: each call into the
+    transport's collect gets a fresh budget (see the module docstring).
     """
 
     def __init__(self, world: World, workers: int,
                  config: PipelineConfig | None = None,
                  shard_timeout: float | None = 600.0,
                  max_redispatch: int = 2,
-                 telemetry_enabled: bool = False):
+                 telemetry_enabled: bool = False,
+                 transport: str = "local",
+                 peers: list[str] | None = None,
+                 unit_count: int | None = None,
+                 transport_options: dict | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if world.seed is None:
             raise ValueError(
                 "sharded execution needs a seeded world: workers derive "
                 "their randomness from (world.seed, sha256)")
+        if transport not in ("local", "socket"):
+            raise ValueError(f"unknown transport {transport!r} "
+                             "(expected 'local' or 'socket')")
+        if transport == "socket" and not peers:
+            raise ValueError("transport='socket' needs peers "
+                             "(['host:port', ...])")
+        if transport == "local" and peers:
+            raise ValueError("peers only apply to transport='socket'")
+        if unit_count is not None and unit_count < 1:
+            raise ValueError("unit_count must be >= 1")
+        from ..dist.plan import TaskSpec, default_unit_count
+        from ..dist.transport import LocalTransport, SocketTransport
+
         self.world = world
         self.workers = workers
         self.config = config or PipelineConfig()
-        #: when True, workers run real tracer/event-log instruments and
+        #: when True, executors run real tracer/event-log instruments and
         #: ship their snapshots back for the cross-shard merge
         self.telemetry_enabled = telemetry_enabled
-        #: wall-clock seconds to wait for each shard in :meth:`join`
-        #: before declaring its worker lost (``None``: wait forever)
+        #: wall-clock seconds granted to each dispatch wave in
+        #: :meth:`join` before its missing units are declared failed
+        #: (``None``: wait forever)
         self.shard_timeout = shard_timeout
-        #: extra dispatch waves granted to failed shards
+        #: extra dispatch waves granted to failed units
         self.max_redispatch = max_redispatch
-        #: shard indexes with no result after all waves (set by ``join``)
+        self.transport_name = transport
+        self.peers = list(peers or [])
+        #: sha256-partition granularity: how many units the corpus is
+        #: cut into (== workers on the plain local path)
+        if transport == "socket":
+            self.shard_count = unit_count or default_unit_count(workers)
+        else:
+            self.shard_count = unit_count or workers
+        #: unit indexes with no result after all waves (set by ``join``)
         self.failed_shards: list[int] = []
-        #: last error text per failed shard index
+        #: last error text per failed unit index
         self.failures: dict[int, str] = {}
-        #: total shard re-dispatches performed (set by ``join``)
+        #: total unit re-dispatches performed (set by ``join``; includes
+        #: transport-internal re-queues after lost workers)
         self.redispatches = 0
-        self._context = None
-        self._pool = None
-        self._pending = None
+        #: transport placement/steal/wall accounting (set by ``join``)
+        self.transport_stats: dict = {}
+        spec = TaskSpec(seed=world.seed, scale=world.scale,
+                        config=self.config, shard_count=self.shard_count,
+                        telemetry=telemetry_enabled)
+        options = dict(transport_options or {})
+        if transport == "socket":
+            self._transport = SocketTransport(
+                spec, self.peers, shard_timeout=shard_timeout, **options)
+        else:
+            self._transport = LocalTransport(
+                spec, workers=workers, shard_timeout=shard_timeout,
+                fork_world=world, **options)
+        self._started = False
+        self._drained = False
 
     def _shard_config(self, index: int) -> PipelineConfig:
         return dataclasses.replace(self.config, shard_index=index,
-                                   shard_count=self.workers)
-
-    def _dispatch(self, pool, indexes, attempt: int) -> dict:
-        """apply_async one task per shard; returns index -> AsyncResult."""
-        return {
-            index: pool.apply_async(
-                _run_shard,
-                ((self.world.seed, self.world.scale,
-                  self._shard_config(index), attempt,
-                  self.telemetry_enabled),))
-            for index in indexes
-        }
+                                   shard_count=self.shard_count)
 
     def start(self) -> "ShardedStudyRunner":
-        """Fork the pool and dispatch one task per shard (non-blocking)."""
-        global _FORK_WORLD
-        if self._pool is not None:
+        """Dispatch one task per unit (non-blocking)."""
+        if self._started:
             raise RuntimeError("runner already started")
-        try:
-            self._context = multiprocessing.get_context("fork")
-            _FORK_WORLD = self.world
-        except ValueError:  # pragma: no cover - non-fork platforms
-            self._context = multiprocessing.get_context()
-        self._pool = self._context.Pool(processes=self.workers,
-                                        maxtasksperchild=1)
-        self._pending = self._dispatch(self._pool, range(self.workers),
-                                       attempt=0)
-        self._pool.close()
+        self._started = True
+        self._transport.start_wave(range(self.shard_count), attempt=0)
         return self
 
     def _collect(self, pending: dict, results: dict) -> dict[int, str]:
-        """Harvest one wave; returns failures as index -> error text.
-
-        The timeout budget is shared by the wave: shards run
-        concurrently, so a healthy wave drains in one shard's runtime,
-        and a crashed worker (whose task ``Pool`` silently loses — no
-        exception ever surfaces) costs one ``shard_timeout``, not one
-        per remaining shard.
-        """
-        deadline = (None if self.shard_timeout is None
-                    else time.monotonic() + self.shard_timeout)
-        failures: dict[int, str] = {}
-        for index in sorted(pending):
-            try:
-                if deadline is None:
-                    results[index] = pending[index].get()
-                else:
-                    results[index] = pending[index].get(
-                        max(0.0, deadline - time.monotonic()))
-            except multiprocessing.TimeoutError:
-                failures[index] = (
-                    f"no result within {self.shard_timeout}s "
-                    "(worker crashed or hung)")
-            except Exception as exc:  # worker raised; propagated by get()
-                failures[index] = f"{type(exc).__name__}: {exc}"
-        return failures
+        """Back-compat shim over the local transport's wave harvest."""
+        return self._transport.collect_pending(pending, results)
 
     def join(self) -> list[ShardResult]:
-        """Wait for every shard; returns results ordered by shard index.
+        """Wait for every unit; returns results ordered by unit index.
 
-        Failed shards are re-dispatched (fresh pool, regenerated world)
-        up to ``max_redispatch`` times; whatever still fails is recorded
-        in :attr:`failed_shards` / :attr:`failures` and simply absent
-        from the returned list.
+        Failed units are re-dispatched (fresh executors, regenerated
+        world) up to ``max_redispatch`` times — each wave under a fresh
+        ``shard_timeout`` budget; whatever still fails is recorded in
+        :attr:`failed_shards` / :attr:`failures` and simply absent from
+        the returned list.
         """
-        global _FORK_WORLD
-        if self._pending is None:
+        if not self._started:
             raise RuntimeError("runner not started")
-        pool, pending = self._pool, self._pending
-        self._pool = self._pending = None
+        if self._drained:
+            raise RuntimeError("runner already joined")
+        self._drained = True
+        transport = self._transport
         results: dict[int, ShardResult] = {}
         attempt = 0
         try:
             while True:
-                failures = self._collect(pending, results)
+                failures = transport.collect_wave(results)
                 if not failures:
-                    pool.join()
+                    transport.finish()
                     break
-                # a hung or half-dead wave cannot be drained politely
-                pool.terminate()
-                pool.join()
+                transport.abort_wave()
                 self.failures.update(failures)
                 attempt += 1
                 if attempt > self.max_redispatch:
                     self.failed_shards = sorted(failures)
                     break
-                # the parent world has been mutated since start() (the
-                # probing campaign runs between start and join), so the
-                # fork snapshot is stale — retry workers regenerate
-                _FORK_WORLD = None
                 self.redispatches += len(failures)
-                pool = self._context.Pool(processes=len(failures),
-                                          maxtasksperchild=1)
-                pending = self._dispatch(pool, sorted(failures), attempt)
-                pool.close()
+                transport.start_wave(sorted(failures), attempt)
         finally:
-            _FORK_WORLD = None
+            transport.close()
+            self.redispatches += transport.redispatches
+            self.transport_stats = transport.stats()
         return [results[index] for index in sorted(results)]
 
     def run(self) -> list[ShardResult]:

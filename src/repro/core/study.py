@@ -314,22 +314,28 @@ class DayRunner:
 def _run_parallel(
     world: World, malnet: MalNet, workers: int, telemetry: Telemetry,
     shard_timeout: float | None = 600.0, max_redispatch: int = 2,
+    transport: str = "local", peers: list[str] | None = None,
+    unit_count: int | None = None, transport_options: dict | None = None,
 ) -> tuple[ProbingCampaign, dict]:
-    """Sharded pipeline in a worker pool, probing overlapped in the parent.
+    """Sharded pipeline on a transport, probing overlapped in the parent.
 
     The campaign only reads world state the pipeline never writes (host
     online windows, listener tables, per-server responsiveness chains are
     all slot-indexed), and reseeds the internet RNG per slot — so the
-    parent can run it concurrently with the pool and still produce the
-    same observations as the serial ordering.
+    parent can run it concurrently with the executors and still produce
+    the same observations as the serial ordering.
 
     Returns the campaign plus a run-info dict (per-shard timings,
-    re-dispatch and failure accounting) consumed by the manifest.
+    re-dispatch/failure accounting, transport placement stats) consumed
+    by the manifest.
     """
     runner = ShardedStudyRunner(world, workers, config=malnet.config,
                                 shard_timeout=shard_timeout,
                                 max_redispatch=max_redispatch,
-                                telemetry_enabled=telemetry.enabled)
+                                telemetry_enabled=telemetry.enabled,
+                                transport=transport, peers=peers,
+                                unit_count=unit_count,
+                                transport_options=transport_options)
     with telemetry.tracer.span("study.pipeline", workers=workers) \
             as pipeline_span:
         runner.start()
@@ -383,14 +389,18 @@ def _run_parallel(
         "shards": [
             {"shard": shard.shard_index, "attempt": shard.attempt,
              "wall_seconds": round(shard.wall_seconds, 6),
+             "worker": shard.worker,
              "sizes": dict(shard.datasets.summary())}
             for shard in shards
         ],
+        "transport": runner.transport_name,
         "redispatches": runner.redispatches,
         "failed_shards": list(runner.failed_shards),
         "failures": {str(k): runner.failures[k]
                      for k in runner.failed_shards},
     }
+    if runner.transport_name != "local":
+        run_info["dist"] = runner.transport_stats
     return campaign, run_info
 
 
@@ -420,6 +430,7 @@ def _build_run_manifest(
         "finished": time.time(),
         "wall_seconds": round(wall_seconds, 6),
         "cached": cached,
+        "transport": info.get("transport", "local"),
         "redispatches": info.get("redispatches", 0),
     }
     phases = {name: stats
@@ -433,6 +444,11 @@ def _build_run_manifest(
         {"sha256": p.sha256, "day": p.day, "reason": p.quarantine_reason}
         for p in datasets.profiles if p.quarantined
     ]
+    extra: dict = {}
+    if info.get("failures"):
+        extra["failures"] = info["failures"]
+    if info.get("dist"):
+        extra["dist"] = info["dist"]
     return build_manifest(
         study=study, run=run, phases=phases, cache=cache_info,
         shards=info.get("shards"),
@@ -440,8 +456,7 @@ def _build_run_manifest(
         failed_shards=info.get("failed_shards",
                                list(datasets.failed_shards)),
         datasets=dict(datasets.summary()),
-        extra=({"failures": info["failures"]}
-               if info.get("failures") else None),
+        extra=extra or None,
     )
 
 
@@ -467,6 +482,8 @@ def run_study(
     telemetry: Telemetry | None = None, workers=None,
     shard_timeout: float | None = 600.0, max_redispatch: int = 2,
     cache: StudyCache | str | None = None,
+    transport: str | None = None, peers: list[str] | None = None,
+    unit_count: int | None = None, transport_options: dict | None = None,
 ) -> tuple[MalNet, ProbingCampaign, Datasets]:
     """Execute the complete measurement study on a generated world.
 
@@ -478,6 +495,14 @@ def run_study(
     :class:`~repro.core.parallel.ShardedStudyRunner`); shards that still
     fail are reported in ``datasets.failed_shards``.
 
+    ``transport="socket"`` dispatches the shard units to remote
+    ``repro worker`` daemons at ``peers`` (``["host:port", ...]``) —
+    the fleet width follows the peer list, ``unit_count`` controls the
+    fine-grained partition (default 4× the fleet), and the merged
+    output stays byte-identical to the serial run.  ``unit_count`` also
+    applies to the local transport.  ``transport_options`` passes
+    coordinator tuning (heartbeat/steal thresholds) through untouched.
+
     ``cache`` (a :class:`~repro.core.cache.StudyCache` or a directory
     path) short-circuits the whole run when an entry for this exact
     (seed, scale, config, code version) exists — the returned datasets
@@ -485,7 +510,15 @@ def run_study(
     results (failed shards) are never cached.
     """
     telemetry = telemetry or NULL_TELEMETRY
-    workers = resolve_workers(workers)
+    if transport not in (None, "local", "socket"):
+        raise ValueError(f"unknown transport {transport!r}")
+    if transport == "socket":
+        if not peers:
+            raise ValueError("transport='socket' needs peers "
+                             "(['host:port', ...])")
+        workers = len(peers)      # the fleet width follows the peer list
+    else:
+        workers = resolve_workers(workers)
     started = time.time()
     started_clock = time.perf_counter()
     if isinstance(cache, (str, os.PathLike)):
@@ -519,9 +552,11 @@ def run_study(
                           workers=workers or 0)
     run_info = None
     if workers:
-        campaign, run_info = _run_parallel(world, malnet, workers, telemetry,
-                                           shard_timeout=shard_timeout,
-                                           max_redispatch=max_redispatch)
+        campaign, run_info = _run_parallel(
+            world, malnet, workers, telemetry,
+            shard_timeout=shard_timeout, max_redispatch=max_redispatch,
+            transport=transport or "local", peers=peers,
+            unit_count=unit_count, transport_options=transport_options)
     else:
         with telemetry.tracer.span("study.pipeline"):
             runner.run_remaining_days()

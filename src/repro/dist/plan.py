@@ -1,0 +1,75 @@
+"""The fine-grained shard plan: units, world keys, and task specs.
+
+A *unit* is one sha256-partition of the sample corpus — the same
+partition function the pool runner always used
+(:func:`repro.determinism.shard_of`), just cut finer: the coordinator
+dispatches ``unit_count`` units (default
+:data:`UNITS_PER_WORKER` × workers) so that placement, stealing, and
+re-dispatch have something to schedule.  Because every occurrence of a
+hash lands in the same unit for a given ``unit_count``, deduplication
+stays unit-local and **any** assignment of units to workers merges to
+the same digest — the property the distributed runner's correctness
+rests on, tested in ``tests/test_dist_plan.py``.
+
+``world_key`` names the generated world a unit needs: workers keep a
+small cache of pristine worlds keyed by it, and the coordinator prefers
+placing units on workers that already hold the key warm (generating a
+world costs ~8× a deepcopy of a cached one at full scale).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+from ..core.cache import _canon
+
+__all__ = ["TaskSpec", "UNITS_PER_WORKER", "default_unit_count",
+           "world_key"]
+
+#: default fan-out granularity: enough units per worker that stealing a
+#: straggler's queue is meaningful, few enough that per-unit world setup
+#: stays amortized
+UNITS_PER_WORKER = 4
+
+
+def default_unit_count(workers: int,
+                       per_worker: int = UNITS_PER_WORKER) -> int:
+    """Unit count for a fleet of ``workers``: finer than the fleet so
+    fast workers can take over a straggler's backlog."""
+    return max(1, workers * per_worker)
+
+
+def world_key(seed: int, scale) -> str:
+    """Stable identity of a generated world, usable as a cache key on
+    any host (derived from the canonical form of ``(seed, scale)``, the
+    exact inputs world generation is a pure function of)."""
+    blob = json.dumps([seed, _canon(scale)], sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSpec:
+    """Everything a worker needs to execute any unit of one study.
+
+    One spec is shared by every unit of a run; only ``(unit, attempt)``
+    varies per dispatch.  ``config`` is the *base* pipeline config — the
+    per-unit shard window is stamped on by :meth:`config_for`.
+    """
+
+    seed: int
+    scale: object
+    config: object
+    shard_count: int
+    telemetry: bool = False
+
+    def config_for(self, index: int):
+        """The base config narrowed to unit ``index`` of ``shard_count``."""
+        return dataclasses.replace(self.config, shard_index=index,
+                                   shard_count=self.shard_count)
+
+    @property
+    def world_key(self) -> str:
+        return world_key(self.seed, self.scale)

@@ -1,0 +1,235 @@
+"""Transports: how one dispatch wave reaches its executors.
+
+:class:`~repro.core.parallel.ShardedStudyRunner` owns the retry policy
+(waves, ``max_redispatch``, failure accounting); a transport owns the
+mechanics of one wave: place the units somewhere, harvest
+:class:`~repro.core.parallel.ShardResult` objects, report what never
+came back.  The contract::
+
+    start_wave(indexes, attempt)   dispatch these units (non-blocking)
+    collect_wave(results) -> {unit: error_text}   drain the wave
+    finish()                       clean teardown after a failure-free wave
+    abort_wave()                   hard teardown of a failed wave
+    start_wave(...)                (again, for the retry wave)
+    close()                        final cleanup, always called
+    stats() -> dict                placement/steal/wall accounting
+    redispatches                   transport-internal re-queues (int)
+
+:class:`LocalTransport` is today's ``multiprocessing.Pool`` behavior,
+bit-for-bit — fork-inherited world snapshot on the first wave,
+``maxtasksperchild=1``, a shared per-wave timeout budget — plus the
+satellite fix this PR pins down: a timed-out unit's failure text now
+says *whether the worker died or is still running* (a crashed pool
+worker exits nonzero and is silently replaced; a hung one stays
+alive), and the ``shard_timeout`` deadline is documented and tested as
+**per wave**: every retry wave gets a fresh budget, so worst-case wall
+time is ``shard_timeout × (1 + max_redispatch)``.
+
+:class:`SocketTransport` hands the wave to a
+:class:`~repro.dist.coordinator.Coordinator` over TCP workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from ..core import parallel as _parallel
+from .coordinator import Coordinator
+from .plan import TaskSpec
+
+__all__ = ["LocalTransport", "SocketTransport", "Transport"]
+
+
+class Transport:
+    """Interface; see the module docstring for the wave contract."""
+
+    name = "abstract"
+    redispatches = 0
+
+    def start_wave(self, indexes, attempt: int) -> None:
+        raise NotImplementedError
+
+    def collect_wave(self, results: dict) -> dict[int, str]:
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        pass
+
+    def abort_wave(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def stats(self) -> dict:
+        return {"transport": self.name}
+
+
+class LocalTransport(Transport):
+    """One host's ``multiprocessing.Pool``, today's semantics."""
+
+    name = "local"
+
+    def __init__(self, spec: TaskSpec, workers: int,
+                 shard_timeout: float | None = 600.0,
+                 fork_world=None):
+        self.spec = spec
+        self.workers = workers
+        self.shard_timeout = shard_timeout
+        self._fork_world = fork_world
+        self._context = None
+        self._pool = None
+        self._pending = None
+        self._procs: list = []
+        self._first_wave = True
+
+    def _task(self, index: int, attempt: int) -> tuple:
+        return (self.spec.seed, self.spec.scale,
+                self.spec.config_for(index), attempt, self.spec.telemetry)
+
+    def start_wave(self, indexes, attempt: int) -> None:
+        indexes = list(indexes)
+        if self._pool is not None:
+            raise RuntimeError("previous wave not torn down")
+        try:
+            self._context = multiprocessing.get_context("fork")
+            fork_ok = True
+        except ValueError:  # pragma: no cover - non-fork platforms
+            self._context = multiprocessing.get_context()
+            fork_ok = False
+        # The fork snapshot is only safe when (a) this is the first wave
+        # (the parent's probing campaign mutates the world between start
+        # and join) and (b) every pool worker forks *now*: with more
+        # units than workers, maxtasksperchild=1 makes the pool respawn
+        # workers mid-wave from the already-mutated parent, so
+        # fine-grained local waves always regenerate.
+        snapshot = None
+        if (fork_ok and self._first_wave
+                and self.spec.shard_count == self.workers):
+            snapshot = self._fork_world
+        _parallel._FORK_WORLD = snapshot
+        self._pool = self._context.Pool(
+            processes=min(self.workers, len(indexes)) or 1,
+            maxtasksperchild=1)
+        self._pending = {
+            index: self._pool.apply_async(_parallel._run_shard,
+                                          (self._task(index, attempt),))
+            for index in indexes
+        }
+        self._procs = list(getattr(self._pool, "_pool", None) or [])
+        self._pool.close()
+        self._first_wave = False
+
+    def collect_wave(self, results: dict) -> dict[int, str]:
+        if self._pending is None:
+            raise RuntimeError("no wave in flight")
+        pending, self._pending = self._pending, None
+        return self.collect_pending(pending, results)
+
+    def collect_pending(self, pending: dict, results: dict) -> dict[int, str]:
+        """Harvest one wave; returns failures as index -> error text.
+
+        The timeout budget is shared by the wave — and *only* this
+        wave: shards run concurrently, so a healthy wave drains in one
+        shard's runtime, a lost worker costs one ``shard_timeout``
+        (not one per remaining shard), and every re-dispatch wave
+        starts a fresh budget.
+        """
+        deadline = (None if self.shard_timeout is None
+                    else time.monotonic() + self.shard_timeout)
+        failures: dict[int, str] = {}
+        for index in sorted(pending):
+            try:
+                if deadline is None:
+                    results[index] = pending[index].get()
+                else:
+                    results[index] = pending[index].get(
+                        max(0.0, deadline - time.monotonic()))
+            except multiprocessing.TimeoutError:
+                failures[index] = self._timeout_text(index)
+            except Exception as exc:  # worker raised; propagated by get()
+                failures[index] = f"{type(exc).__name__}: {exc}"
+        return failures
+
+    def _refresh_procs(self) -> None:
+        """Track pool workers the pool respawned since dispatch
+        (``maxtasksperchild=1`` replaces a worker after every task)."""
+        if self._pool is None:
+            return
+        known = {id(p) for p in self._procs}
+        for proc in getattr(self._pool, "_pool", None) or []:
+            if id(proc) not in known:
+                self._procs.append(proc)
+
+    def _timeout_text(self, index: int) -> str:
+        """Crash or hang?  A crashed pool worker exits nonzero (the pool
+        silently replaces it and loses its task); a hung one is still
+        alive at the deadline."""
+        self._refresh_procs()
+        crashed = sorted({p.exitcode for p in self._procs
+                          if p.exitcode not in (None, 0)})
+        if crashed:
+            return (f"shard {index}: worker crashed "
+                    f"(pool worker exit codes {crashed}); no result within "
+                    f"the {self.shard_timeout}s wave deadline")
+        return (f"shard {index}: worker hung (pool workers alive); "
+                f"no result within the {self.shard_timeout}s wave deadline")
+
+    def finish(self) -> None:
+        if self._pool is not None:
+            self._pool.join()
+            self._pool = None
+
+    def abort_wave(self) -> None:
+        # a hung or half-dead wave cannot be drained politely
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def close(self) -> None:
+        _parallel._FORK_WORLD = None
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def stats(self) -> dict:
+        return {"transport": self.name, "workers": self.workers,
+                "units": self.spec.shard_count}
+
+
+class SocketTransport(Transport):
+    """Remote TCP workers behind a :class:`Coordinator`."""
+
+    name = "socket"
+
+    def __init__(self, spec: TaskSpec, peers,
+                 shard_timeout: float | None = 600.0, **options):
+        self.spec = spec
+        self.shard_timeout = shard_timeout
+        self.coordinator = Coordinator(peers, spec, **options)
+        self._wave = None
+
+    @property
+    def redispatches(self) -> int:
+        """Units the coordinator re-queued (lost workers, failures) —
+        folded into the runner's redispatch counter."""
+        return self.coordinator.redispatches
+
+    def start_wave(self, indexes, attempt: int) -> None:
+        self._wave = (list(indexes), attempt)
+
+    def collect_wave(self, results: dict) -> dict[int, str]:
+        if self._wave is None:
+            raise RuntimeError("no wave in flight")
+        (indexes, attempt), self._wave = self._wave, None
+        return self.coordinator.run(indexes, attempt, results,
+                                    timeout=self.shard_timeout)
+
+    def close(self) -> None:
+        self.coordinator.close()
+
+    def stats(self) -> dict:
+        return self.coordinator.stats()

@@ -1,0 +1,200 @@
+"""The ``repro worker`` daemon: executes shard units for a coordinator.
+
+One :class:`WorkerServer` listens on a TCP port and serves any number
+of coordinator connections, one thread per connection (the
+``cs2620_hw3`` peer-mesh idiom: daemon threads around blocking
+sockets, a stop event for shutdown).  Per task it runs
+:func:`repro.core.parallel.execute_shard` in an executor thread while
+the connection thread keeps heartbeats flowing — so a unit that is
+merely slow looks alive to the coordinator, and only a worker that is
+truly gone (process killed, network cut) goes silent.
+
+Worlds are the expensive part of a unit (generation dwarfs the
+pipeline at small unit sizes), so the daemon keeps a small LRU of
+*pristine* generated worlds keyed by
+:func:`~repro.dist.plan.world_key` and hands each task a deepcopy —
+~8× cheaper than regenerating, and byte-identical because world
+generation is a pure function of ``(seed, scale)``.  The cache keys
+are reported in every ``hello-ack``/``result`` frame, which is what
+lets the coordinator place units cache-aware.
+
+Chaos parity: a fault plan's ``worker_crashes`` draw makes a pool
+worker ``os._exit`` with its task lost.  Here the same draw makes the
+daemon drop the coordinator's connection without a reply — the daemon
+survives (it is one process serving many tasks), but the coordinator
+sees exactly what a dead sandbox looks like: EOF, no result.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import os
+import socket
+import threading
+from collections import OrderedDict
+
+from .plan import world_key
+from .wire import PROTOCOL_VERSION, WireError, recv_frame, send_frame
+
+__all__ = ["WorkerServer", "WorldCache"]
+
+
+class WorldCache:
+    """Thread-safe LRU of pristine generated worlds."""
+
+    def __init__(self, limit: int = 4):
+        if limit < 1:
+            raise ValueError("world cache limit must be >= 1")
+        self.limit = limit
+        self._worlds: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def lease(self, seed: int, scale):
+        """A private, mutable copy of the world for ``(seed, scale)``."""
+        key = world_key(seed, scale)
+        with self._lock:
+            pristine = self._worlds.get(key)
+            if pristine is not None:
+                self._worlds.move_to_end(key)
+                self.hits += 1
+        if pristine is None:
+            from ..world import generate_world
+
+            pristine = generate_world(seed=seed, scale=scale)
+            with self._lock:
+                self.misses += 1
+                self._worlds[key] = pristine
+                while len(self._worlds) > self.limit:
+                    self._worlds.popitem(last=False)
+        # the cached original is never mutated, only its copies are —
+        # a deepcopy of a pristine world == a regenerated one
+        return copy.deepcopy(pristine)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._worlds)
+
+
+class _ChaosDrop(Exception):
+    """Internal: this task's chaos draw says 'die'; drop the connection."""
+
+
+class WorkerServer:
+    """Accept loop + per-connection task execution."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 heartbeat_interval: float = 0.5,
+                 world_cache_limit: int = 4):
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self.worker_id = f"{self.host}:{self.port}"
+        self.heartbeat_interval = heartbeat_interval
+        self.worlds = WorldCache(world_cache_limit)
+        self.tasks_run = 0
+        self._stop = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Blocking accept loop; returns after :meth:`shutdown`."""
+        self._listener.settimeout(0.5)
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:      # listener closed under us
+                break
+            threading.Thread(target=self._serve_client, args=(conn,),
+                             daemon=True).start()
+        self._listener.close()
+
+    def start(self) -> "WorkerServer":
+        """Run the accept loop in a daemon thread (tests, embedding)."""
+        if self._accept_thread is not None:
+            raise RuntimeError("worker already started")
+        self._accept_thread = threading.Thread(target=self.serve_forever,
+                                               daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    # -- per-connection protocol -------------------------------------------
+
+    def _serve_client(self, conn: socket.socket) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    message = recv_frame(conn)
+                except WireError:
+                    return
+                if message is None or message.get("type") == "shutdown":
+                    return
+                kind = message.get("type")
+                if kind == "hello":
+                    if message.get("protocol") != PROTOCOL_VERSION:
+                        return
+                    send_frame(conn, {
+                        "type": "hello-ack",
+                        "protocol": PROTOCOL_VERSION,
+                        "worker": self.worker_id,
+                        "pid": os.getpid(),
+                        "warm": self.worlds.keys(),
+                    })
+                elif kind == "task":
+                    self._run_task(conn, message)
+        except _ChaosDrop:
+            pass                  # die like a sandbox host: EOF, no reply
+        except OSError:
+            pass                  # coordinator went away mid-send
+        finally:
+            conn.close()
+
+    def _run_task(self, conn: socket.socket, message: dict) -> None:
+        from ..core.parallel import execute_shard
+        from ..netsim.faults import WorkerCrash
+
+        unit = message["unit"]
+        attempt = message["attempt"]
+        spec = message["spec"]
+        config = dataclasses.replace(spec["config"], shard_index=unit,
+                                     shard_count=spec["unit_count"])
+        box: dict = {}
+
+        def execute():
+            try:
+                world = self.worlds.lease(spec["seed"], spec["scale"])
+                box["result"] = execute_shard(
+                    spec["seed"], spec["scale"], config, attempt,
+                    spec["telemetry"], world=world, chaos="raise")
+            except WorkerCrash:
+                box["crash"] = True
+            except BaseException as exc:  # ship the failure, stay alive
+                box["error"] = f"{type(exc).__name__}: {exc}"
+
+        thread = threading.Thread(target=execute, daemon=True)
+        thread.start()
+        while thread.is_alive():
+            thread.join(self.heartbeat_interval)
+            if thread.is_alive():
+                send_frame(conn, {"type": "heartbeat", "unit": unit})
+        self.tasks_run += 1
+        if "crash" in box:
+            raise _ChaosDrop
+        if "error" in box:
+            send_frame(conn, {"type": "failed", "unit": unit,
+                              "attempt": attempt, "error": box["error"]})
+            return
+        result = box["result"]
+        send_frame(conn, {"type": "result", "unit": unit,
+                          "attempt": attempt, "result": result,
+                          "warm": self.worlds.keys(),
+                          "wall": result.wall_seconds})

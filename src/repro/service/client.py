@@ -62,6 +62,30 @@ class StudyClient:
             raise ServiceError(0, f"cannot reach {url}: {exc.reason}") \
                 from None
 
+    def conditional_get(self, path: str, etag: str | None = None,
+                        ) -> tuple[int, str | None, bytes]:
+        """GET with ETag revalidation: ``(status, etag, body)``.
+
+        Pass the etag from a previous call; a ``304`` comes back with an
+        empty body, meaning the cached copy is still byte-fresh.
+        """
+        request = urllib.request.Request(self.base_url + path)
+        if etag:
+            request.add_header("If-None-Match", etag)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return (response.status, response.headers.get("ETag"),
+                        response.read())
+        except urllib.error.HTTPError as exc:
+            if exc.code == 304:
+                return 304, exc.headers.get("ETag"), b""
+            raise ServiceError(exc.code, exc.reason) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self.base_url + path}: {exc.reason}") \
+                from None
+
     def _json(self, method: str, path: str, params: dict | None = None):
         _, body = self._request(method, path, params)
         return json.loads(body.decode())

@@ -26,6 +26,15 @@ Routes::
 Every JSON error body is ``{"error": ...}``; the request counter
 ``service_requests_total{route,code}`` uses the route *patterns* above,
 so cardinality stays bounded no matter how many hashes are queried.
+
+The read-mostly artifact routes (:data:`CACHEABLE_ROUTES`) are
+ETag-validated: responses carry an ``ETag`` derived from (study
+fingerprint, days ingested, finalized) — see
+:meth:`StudyService.etag <repro.service.server.StudyService.etag>` —
+and a request presenting it back via ``If-None-Match`` is answered
+``304 Not Modified`` with an empty body *before* the handler runs, so
+a revalidation costs neither serialization nor dataset traversal.
+``service_cache_total{result=hit|miss}`` counts both outcomes.
 """
 
 from __future__ import annotations
@@ -41,9 +50,17 @@ from ..obs.exporters import to_prometheus
 from .serialization import (c2_doc, cdf_doc, ddos_doc, encode,
                             exploit_usage_doc, profile_doc, summary_doc)
 
-__all__ = ["ServiceApi", "RULE_TECHNOLOGIES"]
+__all__ = ["CACHEABLE_ROUTES", "ServiceApi", "RULE_TECHNOLOGIES"]
 
 RULE_TECHNOLOGIES = ("iptables", "dnsmasq", "snort")
+
+#: route patterns whose responses are pure functions of the service
+#: etag — everything derived from the datasets, nothing live like
+#: /status (progress) or /metrics (counters move on every request)
+CACHEABLE_ROUTES = frozenset({
+    "/digest", "/profiles", "/profiles/:sha256", "/c2", "/c2/lifespans",
+    "/summary/ddos", "/summary/exploits", "/rules",
+})
 
 _JSON = "application/json"
 _TEXT = "text/plain; charset=utf-8"
@@ -62,20 +79,54 @@ class ServiceApi:
             "service_requests_total",
             "query API requests by route pattern and status code",
             labelnames=("route", "code"))
+        self._cache = service.telemetry.metrics.counter(
+            "service_cache_total",
+            "ETag revalidations on cacheable routes: hit = 304 served "
+            "without running the handler, miss = full response built",
+            labelnames=("result",))
 
     # -- dispatch ----------------------------------------------------------
 
+    @staticmethod
+    def _route_pattern(path: str) -> str:
+        """The bounded-cardinality route pattern for a concrete path."""
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "profiles":
+            return "/profiles/:sha256"
+        return "/" + "/".join(parts) if parts else "/"
+
     def handle(self, method: str, path: str, query: dict,
-               body: bytes = b"") -> tuple[int, str, bytes]:
-        """One request in, ``(status, content_type, body)`` out.
+               body: bytes = b"", headers: dict | None = None,
+               ) -> tuple[int, str, bytes, dict]:
+        """One request in, ``(status, content_type, body, headers)`` out.
 
         ``query`` maps parameter names to their *last* value (plain
-        strings, not lists).  Never raises: unexpected handler failures
-        become a 500 with the exception text.
+        strings, not lists); ``headers`` are the request headers (only
+        ``If-None-Match`` is consulted).  Never raises: unexpected
+        handler failures become a 500 with the exception text.
+
+        The etag is sampled *before* dispatch; an ingest racing a read
+        can therefore tag a response with the just-staled validator,
+        which only costs the client one extra revalidation — it can
+        never serve stale bytes as fresh.
         """
+        path = "/" + path.strip("/")
+        etag = None
+        if method == "GET" and self._route_pattern(path) in CACHEABLE_ROUTES:
+            etag = self.service.etag()
+            if headers and headers.get("If-None-Match") == etag:
+                self._cache.labels(result="hit").inc()
+                self._requests.labels(route=self._route_pattern(path),
+                                      code="304").inc()
+                return 304, _JSON, b"", {"ETag": etag}
+            self._cache.labels(result="miss").inc()
         route, response = self._dispatch(method, path, query, body)
         self._requests.labels(route=route, code=str(response[0])).inc()
-        return response
+        status, content_type, payload = response
+        out_headers = {}
+        if etag is not None and status == 200:
+            out_headers["ETag"] = etag
+        return status, content_type, payload, out_headers
 
     def _dispatch(self, method, path, query, body):
         path = "/" + path.strip("/")

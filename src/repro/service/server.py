@@ -128,6 +128,20 @@ class StudyService:
         with self.lock:
             return dataset_digest(self.runner.datasets)
 
+    def etag(self) -> str:
+        """Validator for the read-mostly routes (RFC 7232 entity-tag).
+
+        The served artifacts are a pure function of (study fingerprint,
+        days ingested, finalized-or-not): the fingerprint pins (seed,
+        scale, faults, config, code version), ``next_day`` advances on
+        every ingest, and finalization mutates the datasets one last
+        time without touching ``next_day`` — so the tag must include
+        all three.
+        """
+        with self.lock:
+            return (f'"{self.fingerprint[:16]}-{self.runner.next_day}-'
+                    f'{int(self.runner.finalized)}"')
+
     # -- mutation ----------------------------------------------------------
 
     def ingest_days(self, days: int | None = 1) -> dict:
@@ -204,11 +218,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
         query = dict(parse_qsl(split.query))
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
-        status, content_type, payload = self.api.handle(
-            self.command, split.path, query, body)
+        status, content_type, payload, extra_headers = self.api.handle(
+            self.command, split.path, query, body, dict(self.headers))
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in extra_headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 

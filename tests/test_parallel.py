@@ -218,6 +218,70 @@ def test_fold_counters_sums_worker_snapshots():
     assert parent.value("samples_skipped", reason="duplicate") == 9
 
 
+# -- shard_timeout semantics: per-wave deadline, crash vs hang ---------------
+
+
+def _chaos_runner(plan, **kwargs):
+    world = generate_world(seed=SEED, scale=SCALE)
+    return ShardedStudyRunner(world, workers=2,
+                              config=PipelineConfig(faults=plan), **kwargs)
+
+
+def test_timed_out_crash_is_reported_as_a_crash():
+    """A pool worker that died (nonzero exit) reads differently from one
+    that is merely stuck — the 3 a.m. difference between 'restart the
+    box' and 'attach a profiler'."""
+    from repro.netsim.faults import FaultPlan
+
+    plan = FaultPlan(name="crash-forever", crash_shards=(1,),
+                     crash_attempts=99)
+    runner = _chaos_runner(plan, shard_timeout=10.0, max_redispatch=0)
+    runner.start()
+    runner.join()
+    assert runner.failed_shards == [1]
+    assert "worker crashed" in runner.failures[1]
+    assert "exit codes" in runner.failures[1]
+    assert "wave deadline" in runner.failures[1]
+
+
+def test_timed_out_hang_is_reported_as_a_hang():
+    from repro.netsim.faults import FaultPlan
+
+    plan = FaultPlan(name="hang-forever", hang_shards=(1,),
+                     hang_attempts=99, hang_seconds=120.0)
+    runner = _chaos_runner(plan, shard_timeout=8.0, max_redispatch=0)
+    runner.start()
+    try:
+        runner.join()
+    finally:
+        pass  # transport teardown terminates the hung pool
+    assert runner.failed_shards == [1]
+    assert "worker hung" in runner.failures[1]
+    assert "wave deadline" in runner.failures[1]
+
+
+def test_shard_timeout_budget_is_per_wave():
+    """A retry wave gets a *fresh* ``shard_timeout`` budget: a unit that
+    hangs past the first wave's deadline succeeds on re-dispatch even
+    though total elapsed exceeds one budget."""
+    import time
+
+    from repro.netsim.faults import FaultPlan
+
+    plan = FaultPlan(name="hang-once", hang_shards=(1,),
+                     hang_attempts=1, hang_seconds=60.0)
+    runner = _chaos_runner(plan, shard_timeout=8.0, max_redispatch=1)
+    started = time.monotonic()
+    runner.start()
+    results = runner.join()
+    elapsed = time.monotonic() - started
+    assert runner.failed_shards == []
+    assert runner.redispatches == 1
+    assert len(results) == 2
+    # the retry ran in wave 2's own budget, past wave 1's deadline
+    assert elapsed > 8.0
+
+
 def test_parallel_counter_totals_match_serial():
     """Summed worker counters equal the serial run's, dedup included."""
     from repro.obs import create_telemetry

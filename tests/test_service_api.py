@@ -232,6 +232,79 @@ def test_bad_ingest_body_is_400(daemon):
         assert "JSON" in json.load(exc)["error"]
 
 
+# -- ETag revalidation --------------------------------------------------------
+
+
+@pytest.mark.parametrize("path", ["/digest", "/profiles", "/c2",
+                                  "/summary/ddos", "/summary/exploits",
+                                  "/rules"])
+def test_cacheable_routes_revalidate_to_304(daemon, path):
+    _service, client = daemon
+    status, etag, body = client.conditional_get(path)
+    assert status == 200 and body
+    assert re.fullmatch(r'"[0-9a-f]{16}-\d+-[01]"', etag), etag
+    status, again, body = client.conditional_get(path, etag)
+    assert status == 304
+    assert again == etag
+    assert body == b""
+
+
+def test_stale_etag_gets_a_full_response(daemon):
+    _service, client = daemon
+    status, etag, body = client.conditional_get(
+        "/profiles", '"0000000000000000-0-0"')
+    assert status == 200 and body
+    assert etag is not None
+
+
+def test_live_routes_are_not_etagged(daemon):
+    _service, client = daemon
+    for path in ("/status", "/metrics", "/healthz"):
+        status, etag, body = client.conditional_get(path, '"whatever"')
+        assert status == 200 and body
+        assert etag is None
+
+
+def test_etag_moves_with_ingest_and_finalize():
+    """The validator must change whenever the served bytes can: per
+    ingested day and again at finalization."""
+    from repro.service.handlers import ServiceApi
+
+    service = StudyService(seed=SEED, scale=SCALE,
+                           telemetry=create_telemetry())
+    api = ServiceApi(service)
+
+    def get(headers=None):
+        status, _ctype, _body, out = api.handle(
+            "GET", "/digest", {}, headers=headers or {})
+        return status, out.get("ETag")
+
+    _status, before = get()
+    assert get(({"If-None-Match": before}))[0] == 304
+    service.ingest_days(1)
+    status, after_day = get({"If-None-Match": before})
+    assert status == 200 and after_day != before
+    service.ingest_days(None)           # drain the study; auto-finalizes
+    assert service.finalized
+    status, final = get({"If-None-Match": after_day})
+    assert status == 200 and final not in (before, after_day)
+    assert get({"If-None-Match": final})[0] == 304
+
+
+def test_cache_counter_tracks_hits_and_misses(daemon):
+    _service, client = daemon
+    status, etag, _body = client.conditional_get("/c2")
+    assert status == 200
+    assert client.conditional_get("/c2", etag)[0] == 304
+    text = client.metrics()
+    hits = re.search(
+        r'service_cache_total\{result="hit"\} (\d+)', text)
+    misses = re.search(
+        r'service_cache_total\{result="miss"\} (\d+)', text)
+    assert hits and int(hits.group(1)) >= 1
+    assert misses and int(misses.group(1)) >= 1
+
+
 def test_connection_refused_raises_service_error():
     client = StudyClient("http://127.0.0.1:9", timeout=2)
     with pytest.raises(ServiceError) as excinfo:
